@@ -1,0 +1,89 @@
+// Command netmap runs the Myrinet network-mapping phase (§4.3) on a
+// configurable topology and dumps the route tables each node discovers.
+//
+// Usage:
+//
+//	netmap -hosts 4               # the paper's testbed: 4 PCs, one switch
+//	netmap -hosts 10 -switches 2  # a chain of two 8-port switches
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hw"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		hosts    = flag.Int("hosts", 4, "number of hosts")
+		switches = flag.Int("switches", 0, "number of switches (0 = auto)")
+		depth    = flag.Int("depth", 0, "probe depth limit (0 = auto)")
+	)
+	flag.Parse()
+
+	eng := sim.NewEngine()
+	net := myrinet.New(eng, hw.Default())
+
+	nsw := *switches
+	if nsw == 0 {
+		nsw = (*hosts + 5) / 6
+		if *hosts <= 8 {
+			nsw = 1
+		}
+	}
+	sws := make([]*myrinet.Switch, nsw)
+	for i := range sws {
+		sws[i] = net.AddSwitch(8)
+		if i > 0 {
+			if err := net.ConnectSwitches(sws[i-1], 7, sws[i], 6); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	perSwitch := 6
+	if nsw == 1 {
+		perSwitch = 8
+	}
+	for i := 0; i < *hosts; i++ {
+		nic := net.AddNIC()
+		if err := net.AttachNIC(nic, sws[i/perSwitch], i%perSwitch); err != nil {
+			fatal(fmt.Errorf("attaching host %d: %w", i, err))
+		}
+	}
+
+	d := *depth
+	if d == 0 {
+		d = nsw + 1
+	}
+	fmt.Printf("mapping %d hosts across %d switch(es), probe depth %d...\n", *hosts, nsw, d)
+	m := myrinet.StartMapping(net, d, 20*sim.Microsecond)
+	if err := eng.Run(); err != nil {
+		fatal(err)
+	}
+
+	tables := m.Tables()
+	dropped, _ := net.Dropped()
+	fmt.Printf("mapping complete at t=%v; %d dead probes\n\n", eng.Now(), dropped)
+	for src := 0; src < *hosts; src++ {
+		fmt.Printf("node %d routes:\n", src)
+		for dst := 0; dst < *hosts; dst++ {
+			if dst == src {
+				continue
+			}
+			if route, ok := tables[src][dst]; ok {
+				fmt.Printf("  -> node %-3d via ports %v\n", dst, route)
+			} else {
+				fmt.Printf("  -> node %-3d UNREACHABLE\n", dst)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netmap:", err)
+	os.Exit(1)
+}

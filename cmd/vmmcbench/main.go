@@ -1,0 +1,164 @@
+// Command vmmcbench regenerates the figures and tables of the paper's
+// evaluation (§5-§7) on the simulated platform.
+//
+// Usage:
+//
+//	vmmcbench                         # run everything
+//	vmmcbench -experiment fig3        # one experiment
+//	vmmcbench -list                   # list experiment ids
+//
+// Experiment ids: headline, fig1, fig2, fig3, fig4, tabhw, tabvrpc,
+// tabshrimp, tabrelated, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+type experiment struct {
+	id, what string
+	run      func() error
+}
+
+func printSeries(ss ...bench.Series) {
+	for _, s := range ss {
+		fmt.Println(s.Format())
+	}
+}
+
+func printTable(t bench.Table) { fmt.Println(t.Format()) }
+
+var experiments = []experiment{
+	{"headline", "abstract: 9.8 us latency, 80.4 MB/s bandwidth", func() error {
+		t, err := bench.Headline()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"fig1", "Figure 1: host<->LANai DMA bandwidth vs block size", func() error {
+		ss, err := bench.Fig1HostDMA()
+		if err != nil {
+			return err
+		}
+		printSeries(ss...)
+		return nil
+	}},
+	{"fig2", "Figure 2: one-way latency for short messages", func() error {
+		s, err := bench.Fig2Latency()
+		if err != nil {
+			return err
+		}
+		printSeries(s)
+		return nil
+	}},
+	{"fig3", "Figure 3: bandwidth vs message size (one-way, bidirectional)", func() error {
+		ss, err := bench.Fig3Bandwidth()
+		if err != nil {
+			return err
+		}
+		printSeries(ss...)
+		return nil
+	}},
+	{"fig4", "Figure 4: synchronous/asynchronous send overhead", func() error {
+		ss, err := bench.Fig4SendOverhead()
+		if err != nil {
+			return err
+		}
+		printSeries(ss...)
+		return nil
+	}},
+	{"tabhw", "Section 5.2: hardware cost microprobes", func() error {
+		t, err := bench.TableHardwareCosts()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"tabvrpc", "Section 5.4: vRPC on Myrinet, SHRIMP, and kernel UDP", func() error {
+		t, err := bench.TableVRPC()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"tabshrimp", "Section 6: SHRIMP vs Myrinet design tradeoffs", func() error {
+		t, err := bench.TableShrimpComparison()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"tabrelated", "Section 7: Myrinet API, FM, PM, AM comparison", func() error {
+		t, err := bench.TableRelatedWork()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"extensions", "follow-on features: redirection, reliability, zero-copy RPC", func() error {
+		t, err := bench.ExtensionsTable()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"ablations", "design-choice ablations (pipelining, tight loop, threshold, TLB, senders)", func() error {
+		for _, f := range []func() (bench.Table, error){
+			bench.AblationPipeline,
+			bench.AblationTightLoop,
+			bench.AblationThreshold,
+			bench.AblationTLB,
+			bench.AblationSenders,
+			bench.AblationReliability,
+		} {
+			t, err := f()
+			if err != nil {
+				return err
+			}
+			printTable(t)
+		}
+		return nil
+	}},
+}
+
+func main() {
+	var (
+		id   = flag.String("experiment", "", "experiment id to run (default: all)")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-12s %s\n", e.id, e.what)
+		}
+		return
+	}
+	ran := false
+	for _, e := range experiments {
+		if *id != "" && e.id != *id {
+			continue
+		}
+		fmt.Printf("### %s — %s\n\n", e.id, e.what)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "vmmcbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "vmmcbench: unknown experiment %q (try -list)\n", *id)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,120 @@
+// Notify: transfer of control with VMMC notifications (§2). A server
+// exports a request buffer with notifications enabled and registers a
+// user-level handler; clients attach a notification to their requests and
+// the handler fires — after the data is already in the server's memory —
+// and sends a reply back. No server polling loop, no receive calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vmmcnet "repro"
+)
+
+const (
+	reqTag   = 1
+	replyTag = 2
+	slotSize = vmmcnet.PageSize
+)
+
+func main() {
+	eng := vmmcnet.NewEngine()
+	cluster, err := vmmcnet.NewCluster(eng, vmmcnet.Options{Nodes: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster.Go("notify-demo", func(p *vmmcnet.Proc) {
+		server, err := cluster.Nodes[0].NewProcess(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Request window: one slot per client, notifications allowed.
+		reqBuf, _ := server.Malloc(2 * slotSize)
+		if err := server.Export(p, reqTag, reqBuf, 2*slotSize, nil, true); err != nil {
+			log.Fatal(err)
+		}
+
+		// Reply windows live on the clients; the server imports them as
+		// the clients appear (here: statically, for clarity).
+		type client struct {
+			proc  *vmmcnet.Process
+			reply vmmcnet.VirtAddr
+		}
+		clients := make([]client, 2)
+		for i := range clients {
+			proc, err := cluster.Nodes[i+1].NewProcess(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reply, _ := proc.Malloc(slotSize)
+			if err := proc.Export(p, replyTag, reply, slotSize, nil, false); err != nil {
+				log.Fatal(err)
+			}
+			clients[i] = client{proc: proc, reply: reply}
+		}
+		replyDest := make([]vmmcnet.ProxyAddr, 2)
+		for i := range clients {
+			dest, _, err := server.Import(p, i+1, replyTag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			replyDest[i] = dest
+		}
+
+		// The handler runs in the server process when a notifying
+		// message has been delivered; it reads the request from its own
+		// memory and sends the uppercased version back.
+		srvSrc, _ := server.Malloc(slotSize)
+		server.RegisterHandler(reqTag, func(hp *vmmcnet.Proc, tag uint32, offset, length int) {
+			slot := offset / slotSize
+			data, _ := server.Read(reqBuf+vmmcnet.VirtAddr(offset), length)
+			fmt.Printf("[%8v] server handler: slot %d got %q\n", hp.Now(), slot, data)
+			up := make([]byte, len(data))
+			for i, b := range data {
+				if 'a' <= b && b <= 'z' {
+					b -= 32
+				}
+				up[i] = b
+			}
+			if err := server.Write(srvSrc, up); err != nil {
+				log.Fatal(err)
+			}
+			if err := server.SendMsgSync(hp, srvSrc, replyDest[slot], len(up), vmmcnet.SendOptions{}); err != nil {
+				log.Fatal(err)
+			}
+		})
+
+		// Clients import the server's request window and fire notifying
+		// sends into their own slots.
+		for i, cl := range clients {
+			reqDest, _, err := cl.proc.Import(p, 0, reqTag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src, _ := cl.proc.Malloc(slotSize)
+			msg := []byte(fmt.Sprintf("hello from client %d", i))
+			if err := cl.proc.Write(src, msg); err != nil {
+				log.Fatal(err)
+			}
+			slotDest := reqDest + vmmcnet.ProxyAddr(i*slotSize)
+			if err := cl.proc.SendMsgSync(p, src, slotDest, len(msg), vmmcnet.SendOptions{Notify: true}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[%8v] client %d sent a notifying request\n", p.Now(), i)
+		}
+
+		// Each client waits for its reply by watching its own memory.
+		for i, cl := range clients {
+			cl.proc.SpinByte(p, cl.reply, 'H')
+			got, _ := cl.proc.Read(cl.reply, len("HELLO FROM CLIENT 0"))
+			fmt.Printf("[%8v] client %d reply: %q\n", p.Now(), i, got)
+		}
+	})
+
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package am models Berkeley Active Messages on the simulated Myrinet
+// hardware (§7): every communication is a request/reply pair; a request
+// names a handler at the destination and carries a small fixed payload
+// passed as the handler's argument. Notification is by polling here.
+//
+// The paper notes AM "does not yet run on our hardware", so §7 quotes no
+// numbers for it; this model exists so the related-work benchmark table
+// can show the request/reply design point alongside the others, clearly
+// marked as modeled rather than reproduced.
+package am
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/baselines/testbed"
+	"repro/internal/sim"
+)
+
+const (
+	// PayloadWords is the fixed request/reply argument payload (4 words).
+	PayloadWords = 4
+	PayloadBytes = PayloadWords * 4
+	headerBytes  = 8
+)
+
+var (
+	sendCost     = sim.Micros(1.6) // compose + PIO the request
+	lanaiCost    = sim.Micros(1.4)
+	dispatchCost = sim.Micros(1.8) // poll + handler-table dispatch
+	pollInterval = sim.Micros(0.3)
+)
+
+// Handler is an active-message handler: it receives the source endpoint
+// index and the payload, and returns an optional reply payload.
+type Handler func(p *sim.Proc, src int, arg [PayloadWords]uint32) *[PayloadWords]uint32
+
+// System is a two-node AM installation.
+type System struct {
+	Eng *sim.Engine
+	Rig *testbed.Rig
+	Eps [2]*Endpoint
+}
+
+// Endpoint is one node's AM state: a handler table and pending replies.
+type Endpoint struct {
+	sys      *System
+	id       int
+	host     *testbed.Host
+	handlers map[uint8]Handler
+	inbox    []inMsg
+
+	RequestsSent, RepliesReceived int64
+}
+
+type inMsg struct {
+	isReply bool
+	handler uint8
+	src     int
+	arg     [PayloadWords]uint32
+}
+
+// New builds the system and starts the receive loops.
+func New(eng *sim.Engine, rig *testbed.Rig) *System {
+	s := &System{Eng: eng, Rig: rig}
+	for i := 0; i < 2; i++ {
+		s.Eps[i] = &Endpoint{sys: s, id: i, host: rig.Hosts[i], handlers: make(map[uint8]Handler)}
+	}
+	for i := 0; i < 2; i++ {
+		ep := s.Eps[i]
+		eng.Go(fmt.Sprintf("am:lcp:%d", i), func(p *sim.Proc) {
+			p.SetDaemon(true)
+			ep.recvEngine(p)
+		})
+	}
+	return s
+}
+
+// Register installs a handler under the given index.
+func (ep *Endpoint) Register(h uint8, fn Handler) { ep.handlers[h] = fn }
+
+func encode(isReply bool, handler uint8, src int, arg [PayloadWords]uint32) []byte {
+	b := make([]byte, headerBytes+PayloadBytes)
+	if isReply {
+		b[0] = 2
+	} else {
+		b[0] = 1
+	}
+	b[1] = handler
+	b[2] = byte(src)
+	for i, w := range arg {
+		binary.BigEndian.PutUint32(b[headerBytes+4*i:], w)
+	}
+	return b
+}
+
+// Request sends an active message naming the remote handler; the caller
+// continues and must Poll to drive its own handlers and collect replies.
+func (ep *Endpoint) Request(p *sim.Proc, handler uint8, arg [PayloadWords]uint32) {
+	p.Sleep(sendCost)
+	ep.host.CPU.MMIOWriteBytes(p, headerBytes+PayloadBytes)
+	p.Sleep(lanaiCost)
+	ep.host.Board.SendPacket(p, ep.host.Route, encode(false, handler, ep.id, arg))
+	ep.RequestsSent++
+}
+
+// recvEngine deposits arriving messages for Poll to dispatch.
+func (ep *Endpoint) recvEngine(p *sim.Proc) {
+	host := ep.host
+	for {
+		pk := host.Board.NIC.RX.Get(p)
+		host.Board.RecvPacket(p, pk)
+		if len(pk.Payload) < headerBytes+PayloadBytes || !pk.CheckCRC() {
+			continue
+		}
+		p.Sleep(lanaiCost)
+		host.Board.HostDMA.TransferWith(p, len(pk.Payload), host.Prof.LANaiToHost)
+		m := inMsg{
+			isReply: pk.Payload[0] == 2,
+			handler: pk.Payload[1],
+			src:     int(pk.Payload[2]),
+		}
+		for i := range m.arg {
+			m.arg[i] = binary.BigEndian.Uint32(pk.Payload[headerBytes+4*i:])
+		}
+		ep.inbox = append(ep.inbox, m)
+	}
+}
+
+// Poll dispatches pending messages: request handlers run and their reply
+// (if any) is sent back; replies are returned to the caller. It processes
+// at most max messages and does not block if none are pending.
+func (ep *Endpoint) Poll(p *sim.Proc, max int) [][PayloadWords]uint32 {
+	var replies [][PayloadWords]uint32
+	for len(ep.inbox) > 0 && max > 0 {
+		m := ep.inbox[0]
+		ep.inbox = ep.inbox[1:]
+		max--
+		p.Sleep(dispatchCost)
+		if m.isReply {
+			ep.RepliesReceived++
+			replies = append(replies, m.arg)
+			continue
+		}
+		h, ok := ep.handlers[m.handler]
+		if !ok {
+			continue
+		}
+		if rep := h(p, m.src, m.arg); rep != nil {
+			ep.host.CPU.MMIOWriteBytes(p, headerBytes+PayloadBytes)
+			p.Sleep(lanaiCost)
+			ep.host.Board.SendPacket(p, ep.host.Route, encode(true, m.handler, ep.id, *rep))
+		}
+	}
+	return replies
+}
+
+// WaitReply polls until a reply arrives and returns it.
+func (ep *Endpoint) WaitReply(p *sim.Proc) [PayloadWords]uint32 {
+	for {
+		if replies := ep.Poll(p, 8); len(replies) > 0 {
+			return replies[0]
+		}
+		p.Sleep(pollInterval)
+	}
+}

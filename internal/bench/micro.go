@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vmmc"
+)
+
+// Fence flushes the A->B stream: it sends a one-byte message on the fence
+// window and returns once B observes it. In-order delivery guarantees all
+// previously posted A->B traffic has been delivered.
+func (pr *Pair) Fence(p *sim.Proc) error {
+	pr.fenceSeqA++
+	if pr.fenceSeqA == 0 {
+		pr.fenceSeqA = 1
+	}
+	if err := pr.A.Write(pr.fenceSrcA, []byte{pr.fenceSeqA}); err != nil {
+		return err
+	}
+	if _, err := pr.A.SendMsg(p, pr.fenceSrcA, pr.FenceToB, 1, vmmc.SendOptions{}); err != nil {
+		return err
+	}
+	pr.B.SpinByte(p, pr.FenceB, pr.fenceSeqA)
+	return nil
+}
+
+// FenceBtoA is Fence for the reverse direction, callable from a process
+// driving B.
+func (pr *Pair) FenceBtoA(p *sim.Proc) error {
+	pr.fenceSeqB++
+	if pr.fenceSeqB == 0 {
+		pr.fenceSeqB = 1
+	}
+	if err := pr.B.Write(pr.fenceSrcB, []byte{pr.fenceSeqB}); err != nil {
+		return err
+	}
+	if _, err := pr.B.SendMsg(p, pr.fenceSrcB, pr.FenceToA, 1, vmmc.SendOptions{}); err != nil {
+		return err
+	}
+	pr.A.SpinByte(p, pr.FenceA, pr.fenceSeqB)
+	return nil
+}
+
+// PingPongLatency runs the traditional ping-pong benchmark (§5.3,
+// Figure 2): synchronous sends, alternating traffic. It returns the
+// one-way latency in microseconds for the given message size.
+func (pr *Pair) PingPongLatency(p *sim.Proc, size, iters int) (float64, error) {
+	if size < 1 || size > pr.Window {
+		return 0, fmt.Errorf("bench: bad ping-pong size %d", size)
+	}
+	flagOff := mem.VirtAddr(size - 1)
+	var echoErr error
+
+	// B's echo loop runs as its own process.
+	done := sim.NewCond(pr.Eng)
+	echoDone := false
+	pr.Eng.Go("pingpong:B", func(bp *sim.Proc) {
+		defer func() { echoDone = true; done.Broadcast() }()
+		for i := 1; i <= iters; i++ {
+			marker := byte(i%250 + 1)
+			pr.B.SpinByte(bp, pr.BufB+flagOff, marker)
+			if err := pr.B.Write(pr.SrcB+flagOff, []byte{marker}); err != nil {
+				echoErr = err
+				return
+			}
+			if err := pr.B.SendMsgSync(bp, pr.SrcB, pr.ToA, size, vmmc.SendOptions{}); err != nil {
+				echoErr = err
+				return
+			}
+		}
+	})
+
+	start := p.Now()
+	for i := 1; i <= iters; i++ {
+		marker := byte(i%250 + 1)
+		if err := pr.A.Write(pr.SrcA+flagOff, []byte{marker}); err != nil {
+			return 0, err
+		}
+		if err := pr.A.SendMsgSync(p, pr.SrcA, pr.ToB, size, vmmc.SendOptions{}); err != nil {
+			return 0, err
+		}
+		pr.A.SpinByte(p, pr.BufA+flagOff, marker)
+	}
+	elapsed := p.Now() - start
+	for !echoDone {
+		done.Wait(p)
+	}
+	if echoErr != nil {
+		return 0, echoErr
+	}
+	return elapsed.Micros() / float64(2*iters), nil
+}
+
+// OneWayBandwidth streams count messages of the given size from A to B
+// (§5.3, Figure 3 "ping-pong"/one-way series) and returns MB/s measured
+// from first post to fence delivery.
+func (pr *Pair) OneWayBandwidth(p *sim.Proc, size, count int) (float64, error) {
+	if size < 1 || size > pr.Window {
+		return 0, fmt.Errorf("bench: bad stream size %d", size)
+	}
+	start := p.Now()
+	for i := 0; i < count; i++ {
+		if _, err := pr.A.SendMsg(p, pr.SrcA, pr.ToB, size, vmmc.SendOptions{}); err != nil {
+			return 0, err
+		}
+	}
+	if err := pr.Fence(p); err != nil {
+		return 0, err
+	}
+	elapsed := p.Now() - start
+	return float64(size) * float64(count) / elapsed.Seconds() / 1e6, nil
+}
+
+// BidirectionalBandwidth streams in both directions at once (§5.3,
+// Figure 3 "bidirectional" series) and returns the TOTAL bandwidth of both
+// senders in MB/s, as the paper reports it.
+func (pr *Pair) BidirectionalBandwidth(p *sim.Proc, size, count int) (float64, error) {
+	if size < 1 || size > pr.Window {
+		return 0, fmt.Errorf("bench: bad stream size %d", size)
+	}
+	var bErr error
+	done := sim.NewCond(pr.Eng)
+	bDone := false
+	start := p.Now()
+	pr.Eng.Go("bidir:B", func(bp *sim.Proc) {
+		defer func() { bDone = true; done.Broadcast() }()
+		for i := 0; i < count; i++ {
+			if _, err := pr.B.SendMsg(bp, pr.SrcB, pr.ToA, size, vmmc.SendOptions{}); err != nil {
+				bErr = err
+				return
+			}
+		}
+		bErr = pr.FenceBtoA(bp)
+	})
+	for i := 0; i < count; i++ {
+		if _, err := pr.A.SendMsg(p, pr.SrcA, pr.ToB, size, vmmc.SendOptions{}); err != nil {
+			return 0, err
+		}
+	}
+	if err := pr.Fence(p); err != nil {
+		return 0, err
+	}
+	for !bDone {
+		done.Wait(p)
+	}
+	if bErr != nil {
+		return 0, bErr
+	}
+	elapsed := p.Now() - start
+	return 2 * float64(size) * float64(count) / elapsed.Seconds() / 1e6, nil
+}
+
+// SendOverhead measures the host-side cost of the send operation with
+// one-way traffic (§5.3, Figure 4). sync measures SendMsgSync (returns
+// when the buffer is reusable); async measures the post alone, waiting for
+// completion off the clock so the queue never backs up.
+func (pr *Pair) SendOverhead(p *sim.Proc, size, iters int, sync bool) (float64, error) {
+	var total sim.Time
+	for i := 0; i < iters; i++ {
+		if sync {
+			start := p.Now()
+			if err := pr.A.SendMsgSync(p, pr.SrcA, pr.ToB, size, vmmc.SendOptions{}); err != nil {
+				return 0, err
+			}
+			total += p.Now() - start
+		} else {
+			start := p.Now()
+			seq, err := pr.A.SendMsg(p, pr.SrcA, pr.ToB, size, vmmc.SendOptions{})
+			if err != nil {
+				return 0, err
+			}
+			total += p.Now() - start
+			if err := pr.A.WaitSend(p, seq); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := pr.Fence(p); err != nil {
+		return 0, err
+	}
+	return total.Micros() / float64(iters), nil
+}

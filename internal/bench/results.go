@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one measurement in a series.
+type Point struct {
+	X float64 // message or block size in bytes
+	Y float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Unit   string // unit of Y
+	Points []Point
+}
+
+// Format renders the series as an aligned text table.
+func (s Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%s)\n", s.Name, s.Unit)
+	fmt.Fprintf(&b, "%12s %12s\n", "bytes", s.Unit)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%12.0f %12.2f\n", p.X, p.Y)
+	}
+	return b.String()
+}
+
+// Table is a titled grid of results.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

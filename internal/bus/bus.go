@@ -1,0 +1,141 @@
+// Package bus models I/O buses (PCI, EISA) and the DMA engines that master
+// them. A Bus is a unit-capacity, FIFO-arbitrated resource; every
+// programmed-I/O access and every DMA burst holds it for its transfer time,
+// so contention between the CPU's MMIO traffic and DMA engines — and
+// between concurrently active DMA engines — emerges naturally.
+package bus
+
+import (
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Bus is a shared I/O bus with FIFO arbitration.
+type Bus struct {
+	eng  *sim.Engine
+	name string
+	res  *sim.Resource
+}
+
+// New returns an idle bus.
+func New(eng *sim.Engine, name string) *Bus {
+	return &Bus{eng: eng, name: name, res: sim.NewResource(eng, "bus:"+name)}
+}
+
+// Name returns the bus name.
+func (b *Bus) Name() string { return b.name }
+
+// Use occupies the bus for d: arbitration (FIFO queueing behind current
+// traffic) plus the transfer time itself.
+func (b *Bus) Use(p *sim.Proc, d sim.Time) {
+	b.res.Use(p, d)
+}
+
+// Utilization reports the fraction of virtual time the bus has been busy.
+func (b *Bus) Utilization() float64 { return b.res.Utilization() }
+
+// DMAEngine is one DMA engine: a serializing resource whose transfers
+// occupy both the engine and (for bus-mastering engines) the bus.
+//
+// The three LANai engines (host<->SRAM over PCI, SRAM->net, net->SRAM) are
+// each one DMAEngine; the two network engines pass a nil bus because the
+// link is modeled separately.
+type DMAEngine struct {
+	eng     *sim.Engine
+	name    string
+	profile hw.DMAProfile
+	res     *sim.Resource
+	bus     *Bus // nil if the engine does not master a shared bus
+
+	// Direction-turnaround modeling: switching between distinct cost
+	// profiles (PCI master reads vs writes) costs extra bus time.
+	turnaround  sim.Time
+	lastProfile hw.DMAProfile
+	haveLast    bool
+
+	transfers   int64
+	bytes       int64
+	turnarounds int64
+}
+
+// SetTurnaround sets the penalty charged when consecutive transfers use
+// different profiles (direction changes on the bus).
+func (d *DMAEngine) SetTurnaround(t sim.Time) { d.turnaround = t }
+
+// NewDMAEngine returns an idle engine. bus may be nil.
+func NewDMAEngine(eng *sim.Engine, name string, profile hw.DMAProfile, b *Bus) *DMAEngine {
+	return &DMAEngine{
+		eng:     eng,
+		name:    name,
+		profile: profile,
+		res:     sim.NewResource(eng, "dma:"+name),
+		bus:     b,
+	}
+}
+
+// Profile returns the engine's cost profile.
+func (d *DMAEngine) Profile() hw.DMAProfile { return d.profile }
+
+// SetProfile replaces the cost profile (used by ablation benchmarks).
+func (d *DMAEngine) SetProfile(p hw.DMAProfile) { d.profile = p }
+
+// Transfer charges p for moving n bytes through the engine: it waits for
+// the engine to be free, then for the bus (if any), and holds both for the
+// profile's cost. The caller performs the actual byte copy around this
+// call; Transfer accounts only for time.
+func (d *DMAEngine) Transfer(p *sim.Proc, n int) {
+	cost := d.profile.Cost(n)
+	d.res.Acquire(p)
+	if d.bus != nil {
+		d.bus.Use(p, cost)
+	} else {
+		p.Sleep(cost)
+	}
+	d.res.Release(p)
+	d.transfers++
+	d.bytes += int64(n)
+}
+
+// TransferWith is Transfer with an explicit cost profile, for engines whose
+// cost depends on direction — the LANai's single host-DMA engine masters
+// PCI reads (host to SRAM, slower) and PCI writes (SRAM to host) with
+// different profiles.
+func (d *DMAEngine) TransferWith(p *sim.Proc, n int, prof hw.DMAProfile) {
+	cost := prof.Cost(n)
+	d.res.Acquire(p)
+	if d.haveLast && d.lastProfile != prof && d.turnaround > 0 {
+		cost += d.turnaround
+		d.turnarounds++
+	}
+	d.lastProfile, d.haveLast = prof, true
+	if d.bus != nil {
+		d.bus.Use(p, cost)
+	} else {
+		p.Sleep(cost)
+	}
+	d.res.Release(p)
+	d.transfers++
+	d.bytes += int64(n)
+}
+
+// TransferAsync starts a transfer that completes in the background,
+// invoking done (in event context) when the engine finishes. It still
+// serializes on the engine and bus. Use for modeling overlap, e.g. the
+// send-side pipeline posting host DMA while preparing the next header.
+func (d *DMAEngine) TransferAsync(n int, done func()) {
+	d.eng.Go("dma:"+d.name+":async", func(p *sim.Proc) {
+		d.Transfer(p, n)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Busy reports whether a transfer is in progress.
+func (d *DMAEngine) Busy() bool { return d.res.Busy() }
+
+// Stats reports the number of transfers and total bytes moved.
+func (d *DMAEngine) Stats() (transfers, bytes int64) { return d.transfers, d.bytes }
+
+// Turnarounds reports how many direction switches the engine has paid.
+func (d *DMAEngine) Turnarounds() int64 { return d.turnarounds }

@@ -1,0 +1,85 @@
+package ether
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, sim.Millisecond)
+	box := b.Register(1)
+	var at sim.Time
+	var got Message
+	e.Go("recv", func(p *sim.Proc) {
+		got = box.Get(p)
+		at = p.Now()
+	})
+	e.Go("send", func(p *sim.Proc) {
+		b.Send(p, 0, 1, "hello", 42)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "hello" || got.Body != 42 || got.From != 0 {
+		t.Errorf("got %+v", got)
+	}
+	if at < sim.Millisecond {
+		t.Errorf("delivered at %v, want >= 1ms", at)
+	}
+}
+
+func TestSendToUnregisteredPanics(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, sim.Millisecond)
+	e.Go("send", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("send to unregistered node did not panic")
+			}
+		}()
+		b.Send(p, 0, 9, "x", nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedDeliveryPerSender(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, sim.Millisecond)
+	box := b.Register(1)
+	b.Register(0)
+	var got []int
+	e.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			m := box.Get(p)
+			got = append(got, m.Body.(int))
+		}
+	})
+	e.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			b.Send(p, 0, 1, "seq", i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if b.Sent() != 5 {
+		t.Errorf("Sent = %d", b.Sent())
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, sim.Millisecond)
+	if b.Register(3) != b.Register(3) {
+		t.Error("Register returned different mailboxes for same node")
+	}
+}

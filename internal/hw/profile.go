@@ -1,0 +1,227 @@
+// Package hw centralizes the calibrated hardware timing constants for the
+// simulated platform: 166 MHz Pentium PCs with PCI Myrinet interfaces
+// (M2F-PCI32, LANai 4.1 at 33 MHz with 256 KB SRAM) on an 8-port Myrinet
+// switch, plus the SHRIMP/EISA comparison platform.
+//
+// Every constant is either taken directly from the paper's Section 5.2
+// measurements or fitted so that the reported results reproduce:
+//
+//   - MMIO read 0.422 us, MMIO write 0.121 us over PCI (measured, §5.2)
+//   - posting a send request >= 0.5 us using only writes (§5.2)
+//   - LANai pickup + packet prep + net DMA start + remote receive ~2.5 us (§5.2)
+//   - receive side arbitration + host DMA + deposit ~2 us (§5.2)
+//   - minimum hardware latency ~5 us; measured one-way latency 9.8 us (§5.3)
+//   - host-to-LANai DMA with 4 KB transfer units limits user-to-user
+//     bandwidth to 82 MB/s; VMMC delivers 80.4 MB/s = 98% of it (§5.2-5.3)
+//   - Myrinet link rate 1.28 Gb/s = 160 MB/s each direction (§3)
+//   - bidirectional total bandwidth 91 MB/s (§5.3)
+//   - bcopy bandwidth ~50 MB/s (§5.4)
+//
+// Keeping them in one struct makes the ablation benchmarks honest: a bench
+// flips one knob (e.g. DMA pipelining) and reruns the same model.
+package hw
+
+import "repro/internal/sim"
+
+// DMAProfile is an affine DMA cost model: a transfer of n bytes occupies
+// the engine for Setup + n/Rate.
+type DMAProfile struct {
+	Setup sim.Time // per-transfer engine/descriptor/arbitration setup
+	Rate  float64  // bytes per second at steady state
+}
+
+// Cost returns the engine occupancy for an n-byte transfer.
+func (d DMAProfile) Cost(n int) sim.Time {
+	if n < 0 {
+		n = 0
+	}
+	return d.Setup + sim.Time(float64(n)/d.Rate*float64(sim.Second))
+}
+
+// Profile holds every timing constant of the simulated platform.
+type Profile struct {
+	// --- Host CPU / PCI programmed I/O (§5.2, measured) ---
+	PCIReadCost  sim.Time // uncached read over the PCI bus: 0.422 us
+	PCIWriteCost sim.Time // posted write over the PCI bus: 0.121 us
+
+	// BcopyRate is the host library memcpy bandwidth (§5.4: ~50 MB/s on
+	// the 166 MHz Pentium with EDO memory).
+	BcopyRate float64
+	// BcopySetup is the fixed call overhead of a library bcopy.
+	BcopySetup sim.Time
+	// SpinCheckInterval is how often a process spinning on a cached
+	// completion word re-samples it after an invalidation could land.
+	SpinCheckInterval sim.Time
+	// LibSendCost is the VMMC basic library's host-side work per SendMsg
+	// before touching the board: argument checks, queue slot management,
+	// protocol selection. Together with the descriptor writes this is the
+	// ~3 us send overhead of §5.3.
+	LibSendCost sim.Time
+
+	// --- NIC DMA engines (fitted to §5.2) ---
+	// HostToLANai is the host-memory -> SRAM engine (PCI master reads).
+	// Fitted: 4 KB transfer = 50 us -> 82 MB/s, the user-bandwidth limit.
+	HostToLANai DMAProfile
+	// LANaiToHost is the SRAM -> host-memory engine direction (PCI master
+	// writes, faster than reads). Small setup keeps the paper's ~2 us
+	// receive-side cost for one-word messages.
+	LANaiToHost DMAProfile
+	// NetSend / NetRecv move bytes between SRAM and the link at wire
+	// speed (160 MB/s) with a small start cost.
+	NetSend DMAProfile
+	NetRecv DMAProfile
+	// HostDMATurnaround is the penalty when the single host-DMA engine
+	// switches between PCI master reads and writes (bus turnaround plus
+	// lost burst efficiency). It only matters under bidirectional
+	// traffic, where sends (reads) and receives (writes) interleave —
+	// one cause of the bidirectional bandwidth drop (§5.3).
+	HostDMATurnaround sim.Time
+
+	// --- LANai control program software costs (fitted to §5.2-5.3) ---
+	// LCPDispatch is one trip around the LCP main loop (poll events,
+	// branch to handler).
+	LCPDispatch sim.Time
+	// LCPScanPerQueue is the cost to poll one process send queue for a
+	// new request (§6: "picking up a send request in Myrinet requires
+	// scanning send queues of all possible senders").
+	LCPScanPerQueue sim.Time
+	// LCPShortSend is the handler cost for a short-send request: parse
+	// the queue entry, look up the outgoing page table, copy payload
+	// SRAM-to-SRAM into the network buffer.
+	LCPShortSend sim.Time
+	// LCPHeaderPrep builds one chunk header (destination lookup, scatter
+	// addresses, length) in LANai software.
+	LCPHeaderPrep sim.Time
+	// LCPLongSendSetup is the extra handler cost when a long-send request
+	// is picked up (TLB probe, chunking state init).
+	LCPLongSendSetup sim.Time
+	// LCPRecvPacket is the receive-side handler cost per packet before
+	// the host DMA is started (parse header, incoming page table check).
+	LCPRecvPacket sim.Time
+	// LCPCompletion writes the one-word completion status back to user
+	// space (via the LANai-to-host DMA engine).
+	LCPCompletion sim.Time
+	// LCPTLBProbe is one software TLB lookup.
+	LCPTLBProbe sim.Time
+	// LCPLoopSwitch is the cost of abandoning the tight sending loop to
+	// service an arriving packet and re-entering it afterwards (§5.3:
+	// with bidirectional traffic "we have to go through the main loop of
+	// our software state machine which slightly increases the software
+	// overhead, and reduces the bandwidth").
+	LCPLoopSwitch sim.Time
+
+	// --- Myrinet fabric (§3) ---
+	LinkRate      float64  // 1.28 Gb/s = 160e6 B/s each direction
+	SwitchLatency sim.Time // cut-through per-hop latency
+	LinkFlitCost  sim.Time // per-packet injection overhead (head flit)
+
+	// --- Host interrupt / driver costs ---
+	// InterruptCost is taking a host interrupt into the driver and back.
+	InterruptCost sim.Time
+	// TranslationCost is the driver's per-page virtual-to-physical lookup
+	// and lock when refilling the LANai software TLB.
+	TranslationCost sim.Time
+	// SignalCost delivers a notification to a user handler via a signal.
+	SignalCost sim.Time
+
+	// --- Protocol geometry (§4.5) ---
+	// ShortSendMax is the short/long protocol threshold (128 bytes).
+	ShortSendMax int
+	// MaxTransfer is the largest single SendMsg (8 MB).
+	MaxTransfer int
+	// SRAMSize is the LANai board memory (256 KB).
+	SRAMSize int
+
+	// --- Model knobs for ablation benchmarks ---
+	// PipelineChunks overlaps host DMA of chunk k+1 with net DMA of
+	// chunk k on long sends (§4.5). Turning it off serializes them.
+	PipelineChunks bool
+	// PrecomputeHeaders prepares the next chunk header while the current
+	// host DMA is in flight (§4.5).
+	PrecomputeHeaders bool
+	// TightSendLoop lets the LCP stay in the dedicated sending loop while
+	// a long send is in progress and no packets are arriving (§5.3).
+	TightSendLoop bool
+}
+
+// Default returns the calibrated platform profile.
+func Default() Profile {
+	return Profile{
+		PCIReadCost:  sim.Micros(0.422),
+		PCIWriteCost: sim.Micros(0.121),
+
+		BcopyRate:         50e6,
+		BcopySetup:        sim.Micros(0.2),
+		SpinCheckInterval: sim.Micros(0.1),
+		LibSendCost:       sim.Micros(2.3),
+
+		HostToLANai:       DMAProfile{Setup: sim.Micros(1.8), Rate: 85e6},
+		LANaiToHost:       DMAProfile{Setup: sim.Micros(0.6), Rate: 133e6},
+		NetSend:           DMAProfile{Setup: sim.Micros(0.5), Rate: 160e6},
+		NetRecv:           DMAProfile{Setup: sim.Micros(0.4), Rate: 160e6},
+		HostDMATurnaround: sim.Micros(2.2),
+
+		LCPDispatch:      sim.Micros(0.5),
+		LCPScanPerQueue:  sim.Micros(0.3),
+		LCPShortSend:     sim.Micros(0.7),
+		LCPHeaderPrep:    sim.Micros(0.9),
+		LCPLongSendSetup: sim.Micros(1.2),
+		LCPRecvPacket:    sim.Micros(1.8),
+		LCPCompletion:    sim.Micros(0.15),
+		LCPTLBProbe:      sim.Micros(0.3),
+		LCPLoopSwitch:    sim.Micros(2.0),
+
+		LinkRate:      160e6,
+		SwitchLatency: sim.Micros(0.3),
+		LinkFlitCost:  sim.Micros(0.1),
+
+		InterruptCost:   sim.Micros(12),
+		TranslationCost: sim.Micros(1.5),
+		SignalCost:      sim.Micros(25),
+
+		ShortSendMax: 128,
+		MaxTransfer:  8 << 20,
+		SRAMSize:     256 << 10,
+
+		PipelineChunks:    true,
+		PrecomputeHeaders: true,
+		TightSendLoop:     true,
+	}
+}
+
+// SHRIMPProfile holds the comparison platform's constants (§6): the SHRIMP
+// network interface on the EISA bus with a hardware deliberate-update
+// state machine.
+type SHRIMPProfile struct {
+	EISAWriteCost sim.Time // one memory-mapped EISA write
+	EISAReadCost  sim.Time
+	// InitiateCost is the hardware state machine's per-request cost to
+	// verify permissions, index the outgoing page table and start
+	// sending (§6: "about 2-3 microseconds" including the two writes).
+	InitiateCost sim.Time
+	// DMA is the EISA-bus data engine; the achievable user-to-user
+	// hardware limit is 23 MB/s (§6) and SHRIMP delivers it.
+	DMA DMAProfile
+	// WireLatency is the SHRIMP network propagation for one word.
+	WireLatency sim.Time
+	// RecvCost deposits an arriving packet into pinned host memory.
+	RecvCost sim.Time
+	// PerPageInitiate: a send spanning multiple pages must be re-issued
+	// with two EISA writes per page (§6).
+	PerPageInitiate sim.Time
+}
+
+// DefaultSHRIMP returns the calibrated SHRIMP platform profile. The
+// constants are fitted to Section 6: one-word deliberate-update latency
+// ~7 us, send initiation 2-3 us, user-to-user bandwidth 23 MB/s.
+func DefaultSHRIMP() SHRIMPProfile {
+	return SHRIMPProfile{
+		EISAWriteCost:   sim.Micros(0.6),
+		EISAReadCost:    sim.Micros(1.1),
+		InitiateCost:    sim.Micros(1.3), // + 2 writes = ~2.5 us total
+		DMA:             DMAProfile{Setup: sim.Micros(1.5), Rate: 23.8e6},
+		WireLatency:     sim.Micros(1.5),
+		RecvCost:        sim.Micros(1.8),
+		PerPageInitiate: sim.Micros(0.4),
+	}
+}

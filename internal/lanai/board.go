@@ -1,0 +1,168 @@
+package lanai
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// Board is one Myrinet PCI interface: SRAM, the three DMA engines, the
+// network attachment, and the host interrupt line. The LANai control
+// program (implemented by the vmmc package) runs "on" the board as a
+// simulation process, paying the board's costs for every operation.
+type Board struct {
+	Eng  *sim.Engine
+	Prof hw.Profile
+	SRAM *SRAM
+	NIC  *myrinet.NIC
+
+	// HostDMA is the single host-memory <-> SRAM engine. Direction picks
+	// the cost profile: PCI master reads (host->SRAM) run at the fitted
+	// 82 MB/s-at-4KB curve; writes (SRAM->host) are faster.
+	HostDMA *bus.DMAEngine
+	// NetSend injects SRAM bytes onto the link; NetRecv drains arriving
+	// packets into SRAM. The internal bus runs at twice the CPU clock so
+	// the two can operate concurrently with the host engine (§3).
+	NetSend *bus.DMAEngine
+	NetRecv *bus.DMAEngine
+
+	hostMem *mem.Physical
+	intr    func(cause any)
+
+	// reliable is the optional data-link reliability layer (reliable.go);
+	// nil (the paper's configuration) means CRC errors are detected but
+	// never recovered (§4.2).
+	reliable *ReliableLink
+
+	interrupts int64
+}
+
+// NewBoard assembles a board attached to the given NIC, host memory, and
+// host PCI bus.
+func NewBoard(eng *sim.Engine, prof hw.Profile, nic *myrinet.NIC, hostMem *mem.Physical, pci *bus.Bus) *Board {
+	id := nic.ID
+	hostDMA := bus.NewDMAEngine(eng, fmt.Sprintf("lanai%d:host", id), prof.HostToLANai, pci)
+	hostDMA.SetTurnaround(prof.HostDMATurnaround)
+	return &Board{
+		Eng:     eng,
+		Prof:    prof,
+		SRAM:    NewSRAM(prof.SRAMSize),
+		NIC:     nic,
+		HostDMA: hostDMA,
+		NetSend: bus.NewDMAEngine(eng, fmt.Sprintf("lanai%d:netsend", id), prof.NetSend, nil),
+		NetRecv: bus.NewDMAEngine(eng, fmt.Sprintf("lanai%d:netrecv", id), prof.NetRecv, nil),
+		hostMem: hostMem,
+	}
+}
+
+// HostMem returns the node's physical memory the board DMAs against.
+func (b *Board) HostMem() *mem.Physical { return b.hostMem }
+
+// SetInterruptHandler registers the host-side (driver) interrupt handler.
+func (b *Board) SetInterruptHandler(fn func(cause any)) { b.intr = fn }
+
+// RaiseInterrupt asserts the board's host interrupt line with a cause.
+// The handler runs in event context at the current time; it is expected to
+// charge the host's interrupt entry cost itself.
+func (b *Board) RaiseInterrupt(cause any) {
+	b.interrupts++
+	if b.intr == nil {
+		panic(fmt.Sprintf("lanai%d: interrupt %v with no handler", b.NIC.ID, cause))
+	}
+	b.Eng.After(0, func() { b.intr(cause) })
+}
+
+// Interrupts reports how many interrupts the board has raised.
+func (b *Board) Interrupts() int64 { return b.interrupts }
+
+// HostToSRAM DMAs n bytes from host physical memory at pa into SRAM at
+// sramOff: the LANai cannot touch host memory directly and must use this
+// engine (§3). The frames under the transfer must be pinned — DMA to
+// pageable memory is the classic corruption bug this checks for.
+func (b *Board) HostToSRAM(p *sim.Proc, pa mem.PhysAddr, sramOff, n int) error {
+	if err := b.checkPinned(pa, n); err != nil {
+		return err
+	}
+	dst := b.SRAM.Bytes(sramOff, n)
+	if err := b.hostMem.Read(pa, dst); err != nil {
+		return err
+	}
+	b.HostDMA.TransferWith(p, n, b.Prof.HostToLANai)
+	return nil
+}
+
+// SRAMToHost DMAs n bytes from SRAM at sramOff into host physical memory
+// at pa (PCI master write direction). The bytes become visible in host
+// memory when the transfer completes, not when it is posted — a spinning
+// host CPU cannot observe data the bus has not delivered yet.
+func (b *Board) SRAMToHost(p *sim.Proc, sramOff int, pa mem.PhysAddr, n int) error {
+	if err := b.checkPinned(pa, n); err != nil {
+		return err
+	}
+	src := b.SRAM.Bytes(sramOff, n)
+	b.HostDMA.TransferWith(p, n, b.Prof.LANaiToHost)
+	if err := b.hostMem.Write(pa, src); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (b *Board) checkPinned(pa mem.PhysAddr, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("lanai%d: dma of %d bytes", b.NIC.ID, n)
+	}
+	first := pa.Frame()
+	last := PhysLast(pa, n).Frame()
+	for f := first; f <= last; f++ {
+		if !b.hostMem.Pinned(f) {
+			return fmt.Errorf("lanai%d: DMA touches unpinned frame %d", b.NIC.ID, f)
+		}
+	}
+	return nil
+}
+
+// PhysLast returns the address of the last byte of an n-byte range at pa.
+func PhysLast(pa mem.PhysAddr, n int) mem.PhysAddr {
+	return pa + mem.PhysAddr(n-1)
+}
+
+// SendPacket injects payload along route. The net-send DMA engine feeds
+// the link directly, so wire serialization is charged once (inside the NIC
+// injection) plus the engine's start cost. With the optional reliability
+// layer enabled, the packet goes through its send window instead.
+func (b *Board) SendPacket(p *sim.Proc, route []byte, payload []byte) {
+	if b.reliable != nil {
+		b.reliable.send(p, route, payload)
+		return
+	}
+	b.NetSend.TransferWith(p, 0, b.Prof.NetSend) // engine start only
+	b.NIC.Send(p, route, payload)
+}
+
+// Receive drains packets from the wire until one is deliverable upward and
+// returns its payload bytes (after link-layer filtering when reliability
+// is on) together with the raw packet. Without the reliability layer every
+// arriving packet is deliverable and the payload is returned as-is; the
+// caller still checks the CRC, as the paper's LCP does.
+func (b *Board) Receive(p *sim.Proc) ([]byte, *myrinet.Packet) {
+	for {
+		pk := b.NIC.RX.Get(p)
+		b.RecvPacket(p, pk)
+		if b.reliable == nil {
+			return pk.Payload, pk
+		}
+		if data := b.reliable.receive(p, pk); data != nil {
+			return data, pk
+		}
+	}
+}
+
+// RecvPacket charges the net-receive engine for draining an arrived packet
+// into SRAM staging (the LANai stores packets fully before host DMA).
+func (b *Board) RecvPacket(p *sim.Proc, pk *myrinet.Packet) {
+	b.NetRecv.TransferWith(p, len(pk.Payload), b.Prof.NetRecv)
+}

@@ -1,0 +1,294 @@
+package lanai
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bus"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+func TestSRAMAllocFree(t *testing.T) {
+	s := NewSRAM(1024)
+	a, err := s.Alloc(100, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(200, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("overlapping allocations")
+	}
+	if s.Used() != 300 {
+		t.Errorf("Used = %d, want 300", s.Used())
+	}
+	s.Free(a)
+	if s.Used() != 200 {
+		t.Errorf("Used after free = %d, want 200", s.Used())
+	}
+	// First-fit reuses the freed hole.
+	c, err := s.Alloc(100, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Errorf("first-fit gave %d, want reused hole %d", c, a)
+	}
+}
+
+func TestSRAMExhaustion(t *testing.T) {
+	s := NewSRAM(256 << 10)
+	if _, err := s.Alloc(256<<10, "all"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(1, "more"); err == nil {
+		t.Error("allocation beyond 256KB succeeded")
+	}
+}
+
+func TestSRAMCoalescing(t *testing.T) {
+	s := NewSRAM(300)
+	a, _ := s.Alloc(100, "a")
+	b, _ := s.Alloc(100, "b")
+	c, _ := s.Alloc(100, "c")
+	s.Free(a)
+	s.Free(c)
+	// Fragmented: two 100-byte holes, no 200-byte span.
+	if _, err := s.Alloc(200, "big"); err == nil {
+		t.Fatal("allocation across fragmented holes succeeded")
+	}
+	s.Free(b)
+	// Now coalesced into one 300-byte span.
+	if _, err := s.Alloc(300, "big"); err != nil {
+		t.Errorf("coalesced alloc failed: %v", err)
+	}
+}
+
+func TestSRAMFreeUnknownPanics(t *testing.T) {
+	s := NewSRAM(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("Free of unknown offset did not panic")
+		}
+	}()
+	s.Free(50)
+}
+
+func TestSRAMBytesLiveSlice(t *testing.T) {
+	s := NewSRAM(100)
+	off, _ := s.Alloc(10, "x")
+	copy(s.Bytes(off, 10), "0123456789")
+	if string(s.Bytes(off, 10)) != "0123456789" {
+		t.Error("Bytes is not a live view")
+	}
+}
+
+func TestSRAMAllocationsSummary(t *testing.T) {
+	s := NewSRAM(1000)
+	s.Alloc(100, "sendq")
+	s.Alloc(100, "sendq")
+	s.Alloc(50, "tlb")
+	sum := s.Allocations()
+	if sum["sendq"] != 200 || sum["tlb"] != 50 {
+		t.Errorf("Allocations = %v", sum)
+	}
+}
+
+// Property: any sequence of allocs and frees conserves bytes and never
+// hands out overlapping regions.
+func TestSRAMAllocProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSRAM(64 << 10)
+		type alloc struct{ off, size int }
+		var live []alloc
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op/3) % len(live)
+				s.Free(live[i].off)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				size := int(op)%4096 + 1
+				off, err := s.Alloc(size, "p")
+				if err != nil {
+					continue
+				}
+				for _, a := range live {
+					if off < a.off+a.size && a.off < off+size {
+						return false // overlap
+					}
+				}
+				live = append(live, alloc{off, size})
+			}
+		}
+		total := 0
+		for _, a := range live {
+			total += a.size
+		}
+		return s.Used() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newBoard(t *testing.T) (*sim.Engine, *Board, *mem.Physical) {
+	t.Helper()
+	e := sim.NewEngine()
+	prof := hw.Default()
+	net := myrinet.New(e, prof)
+	sw := net.AddSwitch(8)
+	nic := net.AddNIC()
+	if err := net.AttachNIC(nic, sw, 0); err != nil {
+		t.Fatal(err)
+	}
+	pm := mem.NewPhysical(64 * mem.PageSize)
+	pci := bus.New(e, "pci")
+	return e, NewBoard(e, prof, nic, pm, pci), pm
+}
+
+func TestHostToSRAMAndBack(t *testing.T) {
+	e, b, pm := newBoard(t)
+	f, _ := pm.AllocFrame()
+	pm.Pin(f)
+	pa := mem.PhysAddr(f) << mem.PageShift
+	if err := pm.Write(pa, []byte("dma payload")); err != nil {
+		t.Fatal(err)
+	}
+	off, _ := b.SRAM.Alloc(64, "staging")
+	e.Go("lcp", func(p *sim.Proc) {
+		if err := b.HostToSRAM(p, pa, off, 11); err != nil {
+			t.Errorf("HostToSRAM: %v", err)
+		}
+		if string(b.SRAM.Bytes(off, 11)) != "dma payload" {
+			t.Error("SRAM contents wrong after host DMA")
+		}
+		// Modify and DMA back.
+		copy(b.SRAM.Bytes(off, 3), "DMA")
+		if err := b.SRAMToHost(p, off, pa, 11); err != nil {
+			t.Errorf("SRAMToHost: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 11)
+	if err := pm.Read(pa, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("DMA payload")) {
+		t.Errorf("host memory = %q", got)
+	}
+}
+
+func TestDMARejectsUnpinnedFrames(t *testing.T) {
+	e, b, pm := newBoard(t)
+	f, _ := pm.AllocFrame()
+	pa := mem.PhysAddr(f) << mem.PageShift
+	off, _ := b.SRAM.Alloc(64, "staging")
+	e.Go("lcp", func(p *sim.Proc) {
+		if err := b.HostToSRAM(p, pa, off, 8); err == nil {
+			t.Error("DMA from unpinned frame succeeded")
+		}
+		if err := b.SRAMToHost(p, off, pa, 8); err == nil {
+			t.Error("DMA to unpinned frame succeeded")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMATimingAsymmetry(t *testing.T) {
+	// Host->SRAM (PCI reads) must be slower than SRAM->host (writes) for
+	// the same size; the 4 KB read costs ~50us (82 MB/s, the paper's
+	// user-bandwidth limit).
+	e, b, pm := newBoard(t)
+	f, _ := pm.AllocFrame()
+	pm.Pin(f)
+	pa := mem.PhysAddr(f) << mem.PageShift
+	off, _ := b.SRAM.Alloc(mem.PageSize, "staging")
+	var readT, writeT sim.Time
+	e.Go("lcp", func(p *sim.Proc) {
+		start := p.Now()
+		if err := b.HostToSRAM(p, pa, off, mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		readT = p.Now() - start
+		start = p.Now()
+		if err := b.SRAMToHost(p, off, pa, mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		writeT = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readT <= writeT {
+		t.Errorf("read dir %v not slower than write dir %v", readT, writeT)
+	}
+	mbps := mem.PageSize / readT.Seconds() / 1e6
+	if mbps < 80 || mbps > 84 {
+		t.Errorf("4KB host->SRAM = %.1f MB/s, want ~82", mbps)
+	}
+}
+
+func TestInterruptDelivery(t *testing.T) {
+	e, b, _ := newBoard(t)
+	var got any
+	b.SetInterruptHandler(func(cause any) { got = cause })
+	e.At(10, func() { b.RaiseInterrupt("tlb-miss") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "tlb-miss" {
+		t.Errorf("interrupt cause = %v", got)
+	}
+	if b.Interrupts() != 1 {
+		t.Errorf("Interrupts = %d", b.Interrupts())
+	}
+}
+
+func TestInterruptWithoutHandlerPanics(t *testing.T) {
+	e, b, _ := newBoard(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("interrupt without handler did not panic")
+		}
+	}()
+	b.RaiseInterrupt("x")
+	_ = e
+}
+
+func TestSendPacketReachesWire(t *testing.T) {
+	e := sim.NewEngine()
+	prof := hw.Default()
+	net := myrinet.New(e, prof)
+	sw := net.AddSwitch(8)
+	nicA, nicB := net.AddNIC(), net.AddNIC()
+	if err := net.AttachNIC(nicA, sw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachNIC(nicB, sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	pm := mem.NewPhysical(16 * mem.PageSize)
+	pci := bus.New(e, "pci")
+	b := NewBoard(e, prof, nicA, pm, pci)
+	var got *myrinet.Packet
+	e.Go("recv", func(p *sim.Proc) { got = nicB.RX.Get(p) })
+	e.Go("lcp", func(p *sim.Proc) {
+		b.SendPacket(p, []byte{1}, []byte("via board"))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || string(got.Payload) != "via board" {
+		t.Fatalf("packet not delivered: %v", got)
+	}
+}

@@ -1,0 +1,282 @@
+package lanai
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// Reliable data-link layer — the future-work extension of the paper's
+// research line (realized in VMMC-2 as "reliable communication at the data
+// link layer"). The paper itself deliberately ships without CRC-error
+// recovery (§4.2: it "would complicate its design and add more software
+// overhead"); this layer exists to make that trade-off measurable. It is
+// OFF by default and enabled per board with EnableReliability.
+//
+// Design: go-back-N between NIC pairs, sender-driven.
+//
+//   - every outgoing data packet is wrapped with [type, senderNIC, seq];
+//     a copy is held in an SRAM retransmit window until acknowledged;
+//   - the receiver tracks the expected sequence per sender; in-sequence
+//     packets are delivered and (cumulatively) acknowledged along the
+//     reversed ingress route; anything else — CRC damage, or the gap an
+//     earlier CRC drop leaves — is discarded;
+//   - a timer retransmits the whole unacknowledged window when the oldest
+//     packet outlives the timeout;
+//   - senders stall when the window fills, bounding SRAM use.
+type ReliableLink struct {
+	board *Board
+	cfg   ReliabilityConfig
+
+	// Per destination NIC id.
+	tx map[int]*txState
+	// Per source NIC id: next expected sequence.
+	rxExpected map[int]uint32
+
+	windowFree *sim.Cond
+	sramOff    int
+
+	// Stats.
+	Retransmits  int64
+	DupDrops     int64
+	GapDrops     int64
+	AcksSent     int64
+	PayloadBytes int64
+	WindowStalls int64
+	Deliveries   int64
+	CorruptDrops int64
+}
+
+// ReliabilityConfig tunes the link layer.
+type ReliabilityConfig struct {
+	// Window is the per-destination unacknowledged packet limit.
+	Window int
+	// AckEvery acknowledges every k-th in-sequence packet (the last one
+	// of a burst is always acknowledged via the timeout path).
+	AckEvery int
+	// RetransmitTimeout fires a window retransmission when the oldest
+	// unacked packet is this old.
+	RetransmitTimeout sim.Time
+	// PerPacketCost is the LANai software cost of the link-layer
+	// bookkeeping on each side — the overhead §4.2 declined to pay.
+	PerPacketCost sim.Time
+}
+
+// DefaultReliability returns a reasonable configuration.
+func DefaultReliability() ReliabilityConfig {
+	return ReliabilityConfig{
+		Window:            32,
+		AckEvery:          4,
+		RetransmitTimeout: 200 * sim.Microsecond,
+		PerPacketCost:     sim.Micros(0.5),
+	}
+}
+
+type txState struct {
+	route   []byte
+	nextSeq uint32
+	// unacked[0] is the oldest in-flight packet.
+	unacked []bufferedPacket
+	timer   *sim.Event
+}
+
+type bufferedPacket struct {
+	seq     uint32
+	payload []byte
+}
+
+// Link-layer packet types.
+const (
+	linkData    = 0xD1
+	linkAck     = 0xA1
+	linkHdrSize = 13 // type(1) + sender/window(4) + seq(4) + window/spare(4)
+)
+
+// EnableReliability installs the link layer on the board. It must be
+// called before traffic flows; it allocates the retransmit window
+// buffers from board SRAM (the resource cost of reliability).
+func (b *Board) EnableReliability(cfg ReliabilityConfig) (*ReliableLink, error) {
+	if cfg.Window <= 0 || cfg.AckEvery <= 0 {
+		return nil, fmt.Errorf("lanai: bad reliability config %+v", cfg)
+	}
+	// Window buffers: assume page-sized packets plus headers.
+	off, err := b.SRAM.Alloc(cfg.Window*(4096+64), "retransmit-window")
+	if err != nil {
+		return nil, err
+	}
+	rl := &ReliableLink{
+		board:      b,
+		cfg:        cfg,
+		tx:         make(map[int]*txState),
+		rxExpected: make(map[int]uint32),
+		windowFree: sim.NewCond(b.Eng),
+		sramOff:    off,
+	}
+	b.reliable = rl
+	return rl, nil
+}
+
+// Reliable returns the board's link layer, nil when disabled.
+func (b *Board) Reliable() *ReliableLink { return b.reliable }
+
+// wrapLink frames a link-layer packet: data packets carry the sender NIC
+// (for per-sender receive sequencing) and the sender's window key (echoed
+// back in acks so exactly one retransmit window is trimmed); acks carry
+// the window key and the cumulative ack sequence.
+func wrapLink(typ byte, sender int, seq uint32, winKey uint32, payload []byte) []byte {
+	out := make([]byte, linkHdrSize+len(payload))
+	out[0] = typ
+	binary.BigEndian.PutUint32(out[1:], uint32(sender))
+	binary.BigEndian.PutUint32(out[5:], seq)
+	binary.BigEndian.PutUint32(out[9:], winKey)
+	copy(out[linkHdrSize:], payload)
+	return out
+}
+
+// send transmits payload reliably along route to the destination NIC.
+// It blocks while the window is full.
+func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) {
+	dst := rl.destOf(route)
+	st, ok := rl.tx[dst]
+	if !ok {
+		st = &txState{route: append([]byte(nil), route...)}
+		rl.tx[dst] = st
+	}
+	for len(st.unacked) >= rl.cfg.Window {
+		rl.WindowStalls++
+		rl.windowFree.Wait(p)
+	}
+	p.Sleep(rl.cfg.PerPacketCost)
+	seq := st.nextSeq
+	st.nextSeq++
+	st.unacked = append(st.unacked, bufferedPacket{
+		seq:     seq,
+		payload: append([]byte(nil), payload...),
+	})
+	rl.armTimer(st)
+	rl.PayloadBytes += int64(len(payload))
+	rl.board.NetSend.TransferWith(p, 0, rl.board.Prof.NetSend)
+	rl.board.NIC.Send(p, route, wrapLink(linkData, rl.board.NIC.ID, seq, uint32(dst), payload))
+}
+
+// destOf resolves the destination NIC of a route for window bookkeeping.
+func (rl *ReliableLink) destOf(route []byte) int {
+	// The route uniquely determines the destination in a static fabric;
+	// key the window by the route bytes' hash to avoid needing topology
+	// knowledge. Collisions only merge windows, which stays correct.
+	h := 0
+	for _, b := range route {
+		h = h*31 + int(b) + 1
+	}
+	return h
+}
+
+func (rl *ReliableLink) armTimer(st *txState) {
+	if st.timer != nil || len(st.unacked) == 0 {
+		return
+	}
+	st.timer = rl.board.Eng.After(rl.cfg.RetransmitTimeout, func() {
+		st.timer = nil
+		rl.retransmit(st)
+	})
+}
+
+// retransmit resends the whole unacknowledged window (go-back-N).
+func (rl *ReliableLink) retransmit(st *txState) {
+	if len(st.unacked) == 0 {
+		return
+	}
+	rl.board.Eng.Go(fmt.Sprintf("lanai%d:retx", rl.board.NIC.ID), func(p *sim.Proc) {
+		key := uint32(rl.destOf(st.route))
+		for _, bp := range st.unacked {
+			rl.Retransmits++
+			p.Sleep(rl.cfg.PerPacketCost)
+			rl.board.NetSend.TransferWith(p, 0, rl.board.Prof.NetSend)
+			rl.board.NIC.Send(p, st.route, wrapLink(linkData, rl.board.NIC.ID, bp.seq, key, bp.payload))
+		}
+		rl.armTimer(st)
+	})
+}
+
+// handleAck processes a cumulative acknowledgement for packets < ackSeq in
+// the window identified by winKey.
+func (rl *ReliableLink) handleAck(winKey int, ackSeq uint32) {
+	st, ok := rl.tx[winKey]
+	if !ok {
+		return
+	}
+	trimmed := false
+	for len(st.unacked) > 0 && st.unacked[0].seq < ackSeq {
+		st.unacked = st.unacked[1:]
+		trimmed = true
+	}
+	if trimmed {
+		if st.timer != nil {
+			st.timer.Cancel()
+			st.timer = nil
+		}
+		rl.armTimer(st)
+		rl.windowFree.Broadcast()
+	}
+}
+
+// receive filters one raw packet through the link layer. It returns the
+// inner payload when the packet is an in-sequence data packet that should
+// be delivered upward, or nil otherwise (acks, duplicates, gaps, damage).
+func (rl *ReliableLink) receive(p *sim.Proc, pk *myrinet.Packet) []byte {
+	if !pk.CheckCRC() {
+		// Damaged: drop silently; the sender's timeout recovers it.
+		rl.CorruptDrops++
+		return nil
+	}
+	if len(pk.Payload) < linkHdrSize {
+		return nil
+	}
+	typ := pk.Payload[0]
+	sender := int(binary.BigEndian.Uint32(pk.Payload[1:]))
+	seq := binary.BigEndian.Uint32(pk.Payload[5:])
+	winKey := binary.BigEndian.Uint32(pk.Payload[9:])
+	switch typ {
+	case linkAck:
+		rl.handleAck(sender, seq)
+		return nil
+	case linkData:
+		p.Sleep(rl.cfg.PerPacketCost)
+		expect := rl.rxExpected[sender]
+		switch {
+		case seq == expect:
+			rl.rxExpected[sender] = expect + 1
+			rl.Deliveries++
+			// Cumulative ack every k packets; stragglers are recovered
+			// by the sender's timeout + the duplicate re-ack below.
+			if (seq+1)%uint32(rl.cfg.AckEvery) == 0 {
+				rl.sendAck(p, pk, winKey, seq+1)
+			}
+			return pk.Payload[linkHdrSize:]
+		case seq < expect:
+			// Duplicate from a retransmission race: re-ack so the
+			// sender's window advances.
+			rl.DupDrops++
+			rl.sendAck(p, pk, winKey, expect)
+			return nil
+		default:
+			// Gap: an earlier packet was dropped (CRC); go-back-N
+			// discards successors and re-acks the expectation.
+			rl.GapDrops++
+			rl.sendAck(p, pk, winKey, expect)
+			return nil
+		}
+	}
+	return nil
+}
+
+// sendAck emits a cumulative acknowledgement along the reversed route,
+// echoing the sender's window key.
+func (rl *ReliableLink) sendAck(p *sim.Proc, pk *myrinet.Packet, winKey, ackSeq uint32) {
+	rl.AcksSent++
+	route := myrinet.ReverseRoute(pk.Ingress)
+	rl.board.NetSend.TransferWith(p, 0, rl.board.Prof.NetSend)
+	rl.board.NIC.Send(p, route, wrapLink(linkAck, int(winKey), ackSeq, 0, nil))
+}

@@ -1,0 +1,112 @@
+// Package lanai models the Myrinet PCI interface board (M2F-PCI32): a
+// LANai 4.1 control processor with 256 KB of SRAM and three DMA engines —
+// two between the network and SRAM and one between SRAM and host memory
+// over the PCI bus (§3 of the paper). The SRAM holds the control program,
+// per-process send queues, outgoing page tables, the software TLB and
+// network staging buffers, all against a real 256 KB budget.
+package lanai
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SRAM is the board memory: a first-fit allocator over real backing bytes.
+type SRAM struct {
+	data   []byte
+	allocs map[int]allocation // offset -> allocation
+	frees  []span             // sorted, coalesced free spans
+}
+
+type allocation struct {
+	size int
+	name string
+}
+
+type span struct{ off, size int }
+
+// NewSRAM returns an empty SRAM of the given size.
+func NewSRAM(size int) *SRAM {
+	return &SRAM{
+		data:   make([]byte, size),
+		allocs: make(map[int]allocation),
+		frees:  []span{{0, size}},
+	}
+}
+
+// Size returns the total SRAM size.
+func (s *SRAM) Size() int { return len(s.data) }
+
+// Used returns the number of allocated bytes.
+func (s *SRAM) Used() int {
+	u := len(s.data)
+	for _, f := range s.frees {
+		u -= f.size
+	}
+	return u
+}
+
+// Avail returns the number of free bytes (possibly fragmented).
+func (s *SRAM) Avail() int { return len(s.data) - s.Used() }
+
+// Alloc reserves n bytes, first-fit, tagged with a diagnostic name.
+// It fails when no free span is large enough — the resource-exhaustion
+// behaviour that limits how many processes and imports a board supports.
+func (s *SRAM) Alloc(n int, name string) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("lanai: Alloc(%d) by %q: size must be positive", n, name)
+	}
+	for i, f := range s.frees {
+		if f.size >= n {
+			off := f.off
+			if f.size == n {
+				s.frees = append(s.frees[:i], s.frees[i+1:]...)
+			} else {
+				s.frees[i] = span{f.off + n, f.size - n}
+			}
+			s.allocs[off] = allocation{size: n, name: name}
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("lanai: out of SRAM: %q wants %d bytes, %d free (fragmented)", name, n, s.Avail())
+}
+
+// Free releases the allocation starting at off, coalescing adjacent free
+// spans. Freeing an unknown offset panics: it is always a model bug.
+func (s *SRAM) Free(off int) {
+	a, ok := s.allocs[off]
+	if !ok {
+		panic(fmt.Sprintf("lanai: Free(%#x): not an allocation", off))
+	}
+	delete(s.allocs, off)
+	s.frees = append(s.frees, span{off, a.size})
+	sort.Slice(s.frees, func(i, j int) bool { return s.frees[i].off < s.frees[j].off })
+	out := s.frees[:1]
+	for _, f := range s.frees[1:] {
+		last := &out[len(out)-1]
+		if last.off+last.size == f.off {
+			last.size += f.size
+		} else {
+			out = append(out, f)
+		}
+	}
+	s.frees = out
+}
+
+// Bytes returns the live backing slice for [off, off+n). The range must lie
+// within the SRAM.
+func (s *SRAM) Bytes(off, n int) []byte {
+	if off < 0 || n < 0 || off+n > len(s.data) {
+		panic(fmt.Sprintf("lanai: Bytes(%#x,%d) outside SRAM", off, n))
+	}
+	return s.data[off : off+n]
+}
+
+// Allocations returns a name -> total-bytes summary of current allocations.
+func (s *SRAM) Allocations() map[string]int {
+	out := make(map[string]int)
+	for _, a := range s.allocs {
+		out[a.name] += a.size
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+// Package msglib is a protected, user-level message-passing library built
+// entirely on the VMMC primitives — the style of layer the paper's
+// introduction motivates and its predecessor work ([8], "Early experience
+// with message-passing on the SHRIMP multicomputer") built on the same
+// model. It demonstrates the claims of §2: user-level buffer management,
+// zero-copy protocols, and no operating-system involvement on the data
+// path.
+//
+// Each Port exports a receive ring and a small control page. A connection
+// imports the peer's ring; Send reserves space using a locally mirrored
+// consumption counter (written back by the receiver through VMMC itself),
+// frames the message, and deliberate-updates it into the ring. Receive is
+// a poll of local memory; RecvZeroCopy hands out a view of the ring with
+// no copy at all.
+package msglib
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vmmc"
+)
+
+// Errors.
+var (
+	ErrTooBig   = errors.New("msglib: message exceeds ring capacity")
+	ErrBadRing  = errors.New("msglib: ring size must be a multiple of the page size")
+	ErrReleased = errors.New("msglib: zero-copy view already released")
+)
+
+// Frame layout in the ring:
+//
+//	[len uint32][tag uint32][payload ... pad to 4][seq uint32]
+//
+// The trailing seq flag is written last on the wire (VMMC delivers chunks
+// in order), so its arrival means the frame is complete. A frame never
+// wraps: when the tail would, the sender writes a wrap marker
+// ([wrapLen][seq]) and continues at offset zero.
+const (
+	frameHdr  = 8
+	frameSeq  = 4
+	wrapLen   = 0xFFFFFFFF
+	wrapBytes = 8
+
+	// ctl page layout: the receiver's consumed-byte counter lives at
+	// offset 0 of the exporter's control page, written remotely by the
+	// receiver's flow-control updates.
+	ctlBytes = mem.PageSize
+
+	portTagBase = 0xB000
+	ctlTagBase  = 0xB800
+)
+
+// pad4 rounds the payload up to word alignment; the sequence flag follows
+// it, and the whole frame is rounded to 8 bytes so the ring head stays
+// 8-aligned (guaranteeing a wrap marker always fits in the tail gap).
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+func seqOffset(n int) int { return frameHdr + pad4(n) }
+
+func frameBytes(n int) int {
+	return (seqOffset(n) + frameSeq + 7) &^ 7
+}
+
+// Port is a named message-passing endpoint on a process: an exported
+// receive ring plus an exported control page for the peer's flow-control
+// mirror.
+type Port struct {
+	proc   *vmmc.Process
+	id     uint32
+	ring   mem.VirtAddr
+	ringSz int
+	ctl    mem.VirtAddr
+
+	// Receive state.
+	tail     int
+	expected uint32
+	consumed uint64 // total bytes consumed, pushed to the sender's mirror
+
+	// Connection state (set by Connect).
+	peerNode  int
+	peerPort  uint32
+	dataDest  vmmc.ProxyAddr // peer's ring
+	ctlDest   vmmc.ProxyAddr // peer's control page (our consumed mirror lives there)
+	head      int
+	seq       uint32
+	produced  uint64
+	peerRing  int
+	staging   mem.VirtAddr
+	ctlStage  mem.VirtAddr
+	lastPush  uint64
+	connected bool
+}
+
+// NewPort exports a receive ring of ringBytes (multiple of the page size)
+// under the given port id.
+func NewPort(p *sim.Proc, proc *vmmc.Process, id uint32, ringBytes int) (*Port, error) {
+	if ringBytes <= 0 || ringBytes%mem.PageSize != 0 {
+		return nil, ErrBadRing
+	}
+	ring, err := proc.Malloc(ringBytes)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := proc.Malloc(ctlBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := proc.Export(p, portTagBase+id, ring, ringBytes, nil, false); err != nil {
+		return nil, err
+	}
+	if err := proc.Export(p, ctlTagBase+id, ctl, ctlBytes, nil, false); err != nil {
+		return nil, err
+	}
+	pt := &Port{
+		proc:     proc,
+		id:       id,
+		ring:     ring,
+		ringSz:   ringBytes,
+		ctl:      ctl,
+		expected: 1,
+	}
+	return pt, nil
+}
+
+// Connect imports the peer port's ring and control page, making the port
+// able to Send. Both sides connect to each other for a bidirectional
+// channel.
+func (pt *Port) Connect(p *sim.Proc, peerNode int, peerPort uint32) error {
+	dataDest, peerRing, err := pt.proc.Import(p, peerNode, portTagBase+peerPort)
+	if err != nil {
+		return err
+	}
+	ctlDest, _, err := pt.proc.Import(p, peerNode, ctlTagBase+peerPort)
+	if err != nil {
+		return err
+	}
+	staging, err := pt.proc.Malloc(peerRing)
+	if err != nil {
+		return err
+	}
+	ctlStage, err := pt.proc.Malloc(mem.PageSize)
+	if err != nil {
+		return err
+	}
+	pt.peerNode, pt.peerPort = peerNode, peerPort
+	pt.dataDest, pt.ctlDest = dataDest, ctlDest
+	pt.peerRing = peerRing
+	pt.staging = staging
+	pt.ctlStage = ctlStage
+	pt.seq = 1
+	pt.connected = true
+	return nil
+}
+
+// freeSpace is the sender's view of the peer ring's free bytes: produced
+// minus the consumed counter the receiver pushes into our control page.
+func (pt *Port) freeSpace() int {
+	b, err := pt.proc.Read(pt.ctl, 8)
+	if err != nil {
+		panic(err)
+	}
+	consumed := binary.BigEndian.Uint64(b)
+	return pt.peerRing - int(pt.produced-consumed)
+}
+
+// Send transmits a tagged message into the peer's ring, blocking while the
+// ring lacks space (sender-based flow control: no receive posting, no
+// buffering, no drops — the advantage §7 claims over FM/PM reception).
+func (pt *Port) Send(p *sim.Proc, tag uint32, data []byte) error {
+	if !pt.connected {
+		return fmt.Errorf("msglib: port %d not connected", pt.id)
+	}
+	need := frameBytes(len(data))
+	if need+wrapBytes > pt.peerRing {
+		return ErrTooBig
+	}
+	// Account a possible wrap marker.
+	wrap := false
+	if pt.head+need > pt.peerRing {
+		wrap = true
+		need += pt.peerRing - pt.head // the wasted tail
+	}
+	pt.proc.SpinUntil(p, func() bool { return pt.freeSpace() >= need+wrapBytes })
+
+	if wrap {
+		wasted := pt.peerRing - pt.head
+		marker := make([]byte, wrapBytes)
+		binary.BigEndian.PutUint32(marker[0:], wrapLen)
+		binary.BigEndian.PutUint32(marker[4:], pt.seq)
+		pt.seq++
+		if err := pt.proc.Write(pt.staging, marker); err != nil {
+			return err
+		}
+		if err := pt.proc.SendMsgSync(p, pt.staging, pt.dataDest+vmmc.ProxyAddr(pt.head), wrapBytes, vmmc.SendOptions{}); err != nil {
+			return err
+		}
+		pt.produced += uint64(wasted)
+		pt.head = 0
+	}
+
+	fb := frameBytes(len(data))
+	frame := make([]byte, fb)
+	binary.BigEndian.PutUint32(frame[0:], uint32(len(data)))
+	binary.BigEndian.PutUint32(frame[4:], tag)
+	copy(frame[frameHdr:], data)
+	binary.BigEndian.PutUint32(frame[seqOffset(len(data)):], pt.seq)
+	pt.seq++
+	if err := pt.proc.Write(pt.staging, frame); err != nil {
+		return err
+	}
+	if err := pt.proc.SendMsgSync(p, pt.staging, pt.dataDest+vmmc.ProxyAddr(pt.head), fb, vmmc.SendOptions{}); err != nil {
+		return err
+	}
+	pt.head += fb
+	if pt.head == pt.peerRing {
+		pt.head = 0
+	}
+	pt.produced += uint64(fb)
+	return nil
+}
+
+// recvFrame locates the next complete frame in the local ring.
+func (pt *Port) recvFrame(p *sim.Proc) (tag uint32, off, n int) {
+	for {
+		pt.proc.SpinUntil(p, func() bool { return pt.frameReady() })
+		hdr, err := pt.proc.Read(pt.ring+mem.VirtAddr(pt.tail), frameHdr)
+		if err != nil {
+			panic(err)
+		}
+		length := binary.BigEndian.Uint32(hdr[0:])
+		if length == wrapLen {
+			pt.bump(pt.ringSz - pt.tail) // the whole wasted tail
+			pt.tail = 0
+			pt.expected++
+			continue
+		}
+		tag = binary.BigEndian.Uint32(hdr[4:])
+		off = pt.tail + frameHdr
+		n = int(length)
+		return tag, off, n
+	}
+}
+
+// frameReady checks whether a complete frame (or wrap marker) with the
+// expected sequence sits at the tail.
+func (pt *Port) frameReady() bool {
+	hdr, err := pt.proc.Read(pt.ring+mem.VirtAddr(pt.tail), 4)
+	if err != nil {
+		return false
+	}
+	length := binary.BigEndian.Uint32(hdr)
+	var seqOff int
+	switch {
+	case length == wrapLen:
+		seqOff = pt.tail + 4
+	case pt.tail+frameBytes(int(length)) <= pt.ringSz:
+		seqOff = pt.tail + seqOffset(int(length))
+	default:
+		return false // implausible length: bytes still arriving
+	}
+	sb, err := pt.proc.Read(pt.ring+mem.VirtAddr(seqOff), 4)
+	if err != nil {
+		return false
+	}
+	return binary.BigEndian.Uint32(sb) == pt.expected
+}
+
+// bump advances consumption accounting by n bytes.
+func (pt *Port) bump(n int) {
+	pt.consumed += uint64(n)
+}
+
+// pushConsumed writes the consumed counter back to the sender's mirror
+// when enough has drained — VMMC traffic like any other.
+func (pt *Port) pushConsumed(p *sim.Proc) error {
+	if pt.consumed-pt.lastPush < uint64(pt.ringSz/4) || !pt.connected {
+		return nil
+	}
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, pt.consumed)
+	if err := pt.proc.Write(pt.ctlStage, buf); err != nil {
+		return err
+	}
+	if err := pt.proc.SendMsgSync(p, pt.ctlStage, pt.ctlDest, 8, vmmc.SendOptions{}); err != nil {
+		return err
+	}
+	pt.lastPush = pt.consumed
+	return nil
+}
+
+// Recv blocks for the next message and returns its tag and a copy of its
+// payload. The copy out of the ring is charged at bcopy speed — the cost
+// RecvZeroCopy avoids.
+func (pt *Port) Recv(p *sim.Proc) (uint32, []byte, error) {
+	tag, off, n := pt.recvFrame(p)
+	data, err := pt.proc.Read(pt.ring+mem.VirtAddr(off), n)
+	if err != nil {
+		return 0, nil, err
+	}
+	pt.proc.Node.CPU.Bcopy(p, n)
+	pt.finish(n)
+	return tag, data, pt.pushConsumed(p)
+}
+
+// RecvZeroCopy blocks for the next message and returns a live view into
+// the receive ring — no copy at all, the VMMC way. The caller must invoke
+// release() before the next Recv on this port; the ring space is not
+// reusable (and the sender may stall) until then.
+func (pt *Port) RecvZeroCopy(p *sim.Proc) (tag uint32, view []byte, release func(*sim.Proc) error, err error) {
+	tag, off, n := pt.recvFrame(p)
+	view, err = pt.proc.Read(pt.ring+mem.VirtAddr(off), n)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	released := false
+	release = func(rp *sim.Proc) error {
+		if released {
+			return ErrReleased
+		}
+		released = true
+		pt.finish(n)
+		return pt.pushConsumed(rp)
+	}
+	return tag, view, release, nil
+}
+
+// finish advances the tail past the consumed frame.
+func (pt *Port) finish(n int) {
+	fb := frameBytes(n)
+	pt.bump(fb)
+	pt.tail += fb
+	if pt.tail == pt.ringSz {
+		pt.tail = 0
+	}
+	pt.expected++
+}

@@ -1,0 +1,34 @@
+// Package myrinet models the Myrinet fabric: point-to-point links at
+// 1.28 Gb/s per direction, 8-port cut-through crossbar switches, source
+// routing with per-hop header stripping, hardware CRC-8 generation and
+// checking, and in-order delivery (§3 of the paper).
+package myrinet
+
+// CRC-8 with the ATM HEC polynomial x^8+x^2+x+1 (0x07), the generator used
+// by Myrinet's link-level packet check. Table-driven, computed over the
+// packet payload (header + data) at injection and verified at the sink.
+var crcTable [256]byte
+
+func init() {
+	const poly = 0x07
+	for i := 0; i < 256; i++ {
+		c := byte(i)
+		for b := 0; b < 8; b++ {
+			if c&0x80 != 0 {
+				c = c<<1 ^ poly
+			} else {
+				c <<= 1
+			}
+		}
+		crcTable[i] = c
+	}
+}
+
+// CRC8 returns the CRC-8 of data.
+func CRC8(data []byte) byte {
+	var c byte
+	for _, b := range data {
+		c = crcTable[c^b]
+	}
+	return c
+}

@@ -1,0 +1,175 @@
+package myrinet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// The network-mapping control program (§4.3): at boot, every node loads a
+// mapping LCP that discovers routes to all reachable hosts by exchanging
+// probe packets, then hands the static route tables to the VMMC LCP that
+// replaces it. No dynamic remapping happens afterwards; topology changes
+// require a restart.
+//
+// Discovery is honest: the mapper only learns what probe packets tell it.
+// A probe carries a candidate route; if it reaches a host, that host's
+// mapping responder replies along the reversed ingress-port path. Routes
+// that draw no reply within the timeout either dead-end or stop inside a
+// switch and are extended breadth-first up to the depth limit.
+
+// RouteTable maps a destination NIC id to the source route reaching it.
+type RouteTable map[int][]byte
+
+// Mapping message framing.
+const (
+	mapMagic   = 0x4D // 'M'
+	mapProbe   = 1
+	mapReply   = 2
+	mapMsgSize = 10
+)
+
+func encodeMapMsg(typ byte, seq uint32, nicID uint32) []byte {
+	b := make([]byte, mapMsgSize)
+	b[0] = mapMagic
+	b[1] = typ
+	binary.BigEndian.PutUint32(b[2:], seq)
+	binary.BigEndian.PutUint32(b[6:], nicID)
+	return b
+}
+
+func decodeMapMsg(b []byte) (typ byte, seq uint32, nicID uint32, ok bool) {
+	if len(b) != mapMsgSize || b[0] != mapMagic {
+		return 0, 0, 0, false
+	}
+	return b[1], binary.BigEndian.Uint32(b[2:]), binary.BigEndian.Uint32(b[6:]), true
+}
+
+// Mapping is an in-progress or finished network-mapping run.
+type Mapping struct {
+	eng    *sim.Engine
+	net    *Network
+	tables map[int]RouteTable
+	done   bool
+	cond   *sim.Cond
+	err    error
+}
+
+type mapReplyMsg struct {
+	seq       uint32
+	responder int
+	ingress   []byte
+}
+
+// StartMapping boots the mapping LCP on every NIC of the network and
+// probes breadth-first from each node up to maxDepth switch hops. It
+// returns immediately; the run completes as the simulation executes. Use
+// Wait from a process, or run the engine and then call Tables.
+func StartMapping(net *Network, maxDepth int, probeTimeout sim.Time) *Mapping {
+	m := &Mapping{
+		eng:    net.Engine(),
+		net:    net,
+		tables: make(map[int]RouteTable),
+		cond:   sim.NewCond(net.Engine()),
+	}
+
+	replies := sim.NewQueue[mapReplyMsg](m.eng, "map:replies")
+	nics := net.NICs()
+
+	// Mapping responders: every NIC answers probes and funnels replies to
+	// the coordinator. They are killed once mapping finishes, freeing the
+	// RX queues for the VMMC LCP (§4.3: "replaces the mapping LCP").
+	responders := make([]*sim.Proc, len(nics))
+	for _, nic := range nics {
+		nic := nic
+		responders[nic.ID] = m.eng.Go(fmt.Sprintf("maplcp:%d", nic.ID), func(p *sim.Proc) {
+			for {
+				pk := nic.RX.Get(p)
+				typ, seq, id, ok := decodeMapMsg(pk.Payload)
+				if !ok || !pk.CheckCRC() {
+					continue
+				}
+				switch typ {
+				case mapProbe:
+					reply := encodeMapMsg(mapReply, seq, uint32(nic.ID))
+					nic.Send(p, ReverseRoute(pk.Ingress), reply)
+				case mapReply:
+					replies.Put(mapReplyMsg{seq: seq, responder: int(id), ingress: pk.Ingress})
+				}
+			}
+		})
+	}
+
+	m.eng.Go("map:coordinator", func(p *sim.Proc) {
+		defer func() {
+			for _, r := range responders {
+				r.Kill()
+			}
+			m.done = true
+			m.cond.Broadcast()
+		}()
+		var seq uint32
+		for _, nic := range nics {
+			table := RouteTable{}
+			reverse := map[int][]byte{} // responder -> route back to prober
+			// Breadth-first candidate routes. The empty route covers a
+			// direct NIC-to-NIC cable.
+			frontier := [][]byte{{}}
+			for depth := 0; depth <= maxDepth && len(frontier) > 0; depth++ {
+				var next [][]byte
+				for _, route := range frontier {
+					seq++
+					nic.Send(p, route, encodeMapMsg(mapProbe, seq, uint32(nic.ID)))
+					found := false
+					for {
+						r, ok := replies.GetTimeout(p, probeTimeout)
+						if !ok {
+							break
+						}
+						if r.seq != seq {
+							continue // stale reply from a timed-out probe
+						}
+						if _, dup := table[r.responder]; !dup {
+							table[r.responder] = append([]byte(nil), route...)
+							reverse[r.responder] = ReverseRoute(r.ingress)
+						}
+						found = true
+						break
+					}
+					if !found && depth < maxDepth {
+						// Possibly a switch behind this prefix: extend.
+						for port := 0; port < 8; port++ {
+							ext := make([]byte, len(route)+1)
+							copy(ext, route)
+							ext[len(route)] = byte(port)
+							next = append(next, ext)
+						}
+					}
+				}
+				frontier = next
+			}
+			m.tables[nic.ID] = table
+		}
+	})
+	return m
+}
+
+// Wait parks p until mapping completes.
+func (m *Mapping) Wait(p *sim.Proc) {
+	for !m.done {
+		m.cond.Wait(p)
+	}
+}
+
+// Done reports whether mapping has completed.
+func (m *Mapping) Done() bool { return m.done }
+
+// Tables returns the per-node route tables. It panics if mapping has not
+// completed — run the engine first.
+func (m *Mapping) Tables() map[int]RouteTable {
+	if !m.done {
+		panic("myrinet: Tables() before mapping completed")
+	}
+	return m.tables
+}

@@ -1,0 +1,240 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Packet is a Myrinet packet in flight. The route is a sequence of absolute
+// output-port bytes consumed one per switch hop; the payload (header + data)
+// is opaque to the fabric; the CRC is appended by sending hardware and
+// checked by the receiver.
+type Packet struct {
+	// Route holds the output port for each switch on the path, in order.
+	Route []byte
+	// Ingress records, hop by hop, the port on which the packet entered
+	// each switch. Myricom's mapping firmware derives return routes for
+	// its special mapping packets; recording ingress ports reproduces
+	// that capability for the mapper without giving it topology oracle
+	// access.
+	Ingress []byte
+	// Payload is the header plus data.
+	Payload []byte
+	// CRC is the link-level check computed over Payload at injection.
+	CRC byte
+	// Src is the injecting NIC's id (diagnostic only; routing never
+	// consults it).
+	Src int
+}
+
+// CheckCRC recomputes the payload CRC and compares it with the carried one.
+func (pk *Packet) CheckCRC() bool { return CRC8(pk.Payload) == pk.CRC }
+
+// Endpoint kinds inside the fabric graph.
+const (
+	kindNone = iota
+	kindNIC
+	kindSwitch
+)
+
+// endpoint identifies what a cable end plugs into.
+type endpoint struct {
+	kind int
+	id   int // NIC id or switch id
+	port int // port on that element (0 for NICs)
+}
+
+// Switch is an n-port cut-through crossbar.
+type Switch struct {
+	ID    int
+	ports []endpoint
+}
+
+// Ports returns the switch's port count.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// NIC is a network attachment point: one full-duplex link into the fabric,
+// a serializing injection resource, and a receive queue drained by whatever
+// control program owns the interface.
+type NIC struct {
+	ID  int
+	net *Network
+
+	peer endpoint      // what the NIC's cable plugs into
+	tx   *sim.Resource // injection serialization (one packet at a time)
+
+	// RX is the arrival queue. The LANai control program (or the mapping
+	// responder during boot) consumes it.
+	RX *sim.Queue[*Packet]
+
+	injected  int64
+	delivered int64
+}
+
+// Network is the fabric: all switches, NICs and cables, plus the timing
+// profile. Switch-internal contention is not modeled (the crossbar is
+// non-blocking and the paper's experiments never oversubscribe a port);
+// serialization is charged at injection and again at the sink by the
+// receiving NIC's net-to-SRAM DMA engine.
+type Network struct {
+	eng      *sim.Engine
+	prof     hw.Profile
+	switches []*Switch
+	nics     []*NIC
+
+	dropped     int64
+	lastDrop    string
+	corruptNext int // pending bit-error injections
+}
+
+// New returns an empty fabric.
+func New(eng *sim.Engine, prof hw.Profile) *Network {
+	return &Network{eng: eng, prof: prof}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddSwitch creates a switch with nports ports (Myrinet's M2F-SW8 has 8).
+func (n *Network) AddSwitch(nports int) *Switch {
+	s := &Switch{ID: len(n.switches), ports: make([]endpoint, nports)}
+	n.switches = append(n.switches, s)
+	return s
+}
+
+// AddNIC creates an unattached NIC.
+func (n *Network) AddNIC() *NIC {
+	nic := &NIC{
+		ID:  len(n.nics),
+		net: n,
+		tx:  sim.NewResource(n.eng, fmt.Sprintf("myri:nic%d:tx", len(n.nics))),
+		RX:  sim.NewQueue[*Packet](n.eng, fmt.Sprintf("myri:nic%d:rx", len(n.nics))),
+	}
+	n.nics = append(n.nics, nic)
+	return nic
+}
+
+// NICs returns all NICs in creation order.
+func (n *Network) NICs() []*NIC { return n.nics }
+
+// Switches returns all switches in creation order.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// AttachNIC cables a NIC to a switch port.
+func (n *Network) AttachNIC(nic *NIC, sw *Switch, port int) error {
+	if nic.peer.kind != kindNone {
+		return fmt.Errorf("myrinet: NIC %d already attached", nic.ID)
+	}
+	if sw.ports[port].kind != kindNone {
+		return fmt.Errorf("myrinet: switch %d port %d already in use", sw.ID, port)
+	}
+	nic.peer = endpoint{kind: kindSwitch, id: sw.ID, port: port}
+	sw.ports[port] = endpoint{kind: kindNIC, id: nic.ID}
+	return nil
+}
+
+// ConnectSwitches cables switch a's port ap to switch b's port bp.
+func (n *Network) ConnectSwitches(a *Switch, ap int, b *Switch, bp int) error {
+	if a.ports[ap].kind != kindNone || b.ports[bp].kind != kindNone {
+		return fmt.Errorf("myrinet: port in use (sw%d:%d or sw%d:%d)", a.ID, ap, b.ID, bp)
+	}
+	a.ports[ap] = endpoint{kind: kindSwitch, id: b.ID, port: bp}
+	b.ports[bp] = endpoint{kind: kindSwitch, id: a.ID, port: ap}
+	return nil
+}
+
+// InjectBitError corrupts the payload of the next k injected packets after
+// their CRC is computed, so the receiver's CRC check fails. Used by fault
+// tests (§4.2: errors are detected but not recovered).
+func (n *Network) InjectBitError(k int) { n.corruptNext += k }
+
+// Dropped reports how many packets died on invalid routes, and the last
+// drop's reason.
+func (n *Network) Dropped() (int64, string) { return n.dropped, n.lastDrop }
+
+// walk resolves a route from nic through the fabric. It returns the
+// destination NIC, the number of switch hops, and the per-hop ingress
+// ports. A nil destination means the packet died; reason says why.
+func (n *Network) walk(nic *NIC, route []byte) (dst *NIC, hops int, ingress []byte, reason string) {
+	cur := nic.peer
+	for i := 0; ; i++ {
+		switch cur.kind {
+		case kindNone:
+			return nil, hops, ingress, "dangling link"
+		case kindNIC:
+			if i != len(route) {
+				return nil, hops, ingress, fmt.Sprintf("reached NIC %d with %d route bytes left", cur.id, len(route)-i)
+			}
+			return n.nics[cur.id], hops, ingress, ""
+		case kindSwitch:
+			if i >= len(route) {
+				return nil, hops, ingress, fmt.Sprintf("route exhausted inside switch %d", cur.id)
+			}
+			sw := n.switches[cur.id]
+			ingress = append(ingress, byte(cur.port))
+			out := int(route[i])
+			if out >= len(sw.ports) {
+				return nil, hops, ingress, fmt.Sprintf("switch %d has no port %d", cur.id, out)
+			}
+			hops++
+			cur = sw.ports[out]
+		}
+	}
+}
+
+// wireBytes is the per-packet framing the fabric carries beyond the
+// payload: route bytes are stripped hop by hop but serialize at injection,
+// and the CRC trails the packet.
+func wireBytes(pk *Packet) int { return len(pk.Route) + len(pk.Payload) + 1 }
+
+// Send injects a packet carrying payload along route. It blocks p for the
+// injection serialization time (head flit + bytes at link rate), then the
+// packet propagates with cut-through hop latency and lands in the
+// destination NIC's RX queue. Invalid routes kill the packet silently, as
+// on real hardware.
+func (nic *NIC) Send(p *sim.Proc, route []byte, payload []byte) {
+	pk := &Packet{
+		Route:   append([]byte(nil), route...),
+		Payload: append([]byte(nil), payload...),
+		Src:     nic.ID,
+	}
+	pk.CRC = CRC8(pk.Payload)
+	if nic.net.corruptNext > 0 && len(pk.Payload) > 0 {
+		nic.net.corruptNext--
+		pk.Payload[len(pk.Payload)/2] ^= 0x10
+	}
+
+	n := nic.net
+	cost := n.prof.LinkFlitCost +
+		sim.Time(float64(wireBytes(pk))/n.prof.LinkRate*float64(sim.Second))
+	nic.tx.Use(p, cost)
+	nic.injected++
+
+	dst, hops, ingress, reason := n.walk(nic, pk.Route)
+	if dst == nil {
+		n.dropped++
+		n.lastDrop = reason
+		n.eng.Tracef("myrinet: packet from NIC %d dropped: %s", nic.ID, reason)
+		return
+	}
+	pk.Ingress = ingress
+	n.eng.After(sim.Time(hops)*n.prof.SwitchLatency, func() {
+		dst.delivered++
+		dst.RX.Put(pk)
+	})
+}
+
+// Stats reports packets injected by and delivered to this NIC.
+func (nic *NIC) Stats() (injected, delivered int64) { return nic.injected, nic.delivered }
+
+// ReverseRoute converts the ingress-port record of a received packet into
+// a route from the receiver back to the sender.
+func ReverseRoute(ingress []byte) []byte {
+	out := make([]byte, len(ingress))
+	for i, b := range ingress {
+		out[len(ingress)-1-i] = b
+	}
+	return out
+}

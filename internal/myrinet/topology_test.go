@@ -1,0 +1,221 @@
+package myrinet
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Topology stress for the mapper: trees, partitions, and depth limits.
+
+func TestMappingTreeOfSwitches(t *testing.T) {
+	//        sw0
+	//       /    \
+	//     sw1    sw2
+	//    /   \      \
+	//  n0,n1  (n2)   n3      (hosts hang off sw1, sw1, sw2)
+	e := sim.NewEngine()
+	n := New(e, hw.Default())
+	sw0, sw1, sw2 := n.AddSwitch(8), n.AddSwitch(8), n.AddSwitch(8)
+	if err := n.ConnectSwitches(sw0, 0, sw1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ConnectSwitches(sw0, 1, sw2, 0); err != nil {
+		t.Fatal(err)
+	}
+	hosts := []struct {
+		sw   *Switch
+		port int
+	}{
+		{sw1, 2}, {sw1, 3}, {sw1, 4}, {sw2, 2},
+	}
+	for i, h := range hosts {
+		nic := n.AddNIC()
+		if err := n.AttachNIC(nic, h.sw, h.port); err != nil {
+			t.Fatalf("host %d: %v", i, err)
+		}
+	}
+	m := StartMapping(n, 4, 20*sim.Microsecond)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tables := m.Tables()
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			if src == dst {
+				continue
+			}
+			route, ok := tables[src][dst]
+			if !ok {
+				t.Fatalf("no route %d->%d", src, dst)
+			}
+			got, _, _, reason := n.walk(n.NICs()[src], route)
+			if got == nil || got.ID != dst {
+				t.Errorf("route %d->%d = %v invalid: %s", src, dst, route, reason)
+			}
+		}
+	}
+	// Hosts 0 and 3 are three hops apart (sw1 -> sw0 -> sw2).
+	if r := tables[0][3]; len(r) != 3 {
+		t.Errorf("route 0->3 = %v, want 3 hops", r)
+	}
+}
+
+func TestMappingDepthLimitHidesDistantHosts(t *testing.T) {
+	// A chain sw0-sw1-sw2 with a host on each end: depth 1 cannot see
+	// across three switches; depth 3 can.
+	build := func() (*sim.Engine, *Network) {
+		e := sim.NewEngine()
+		n := New(e, hw.Default())
+		sws := []*Switch{n.AddSwitch(8), n.AddSwitch(8), n.AddSwitch(8)}
+		if err := n.ConnectSwitches(sws[0], 7, sws[1], 6); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.ConnectSwitches(sws[1], 7, sws[2], 6); err != nil {
+			t.Fatal(err)
+		}
+		a, b := n.AddNIC(), n.AddNIC()
+		if err := n.AttachNIC(a, sws[0], 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AttachNIC(b, sws[2], 0); err != nil {
+			t.Fatal(err)
+		}
+		return e, n
+	}
+
+	e, n := build()
+	m := StartMapping(n, 1, 20*sim.Microsecond)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Tables()[0][1]; ok {
+		t.Error("depth-1 mapping found a 3-hop host")
+	}
+
+	e, n = build()
+	m = StartMapping(n, 3, 20*sim.Microsecond)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := m.Tables()[0][1]; !ok || len(r) != 3 {
+		t.Errorf("depth-3 mapping route = %v,%v, want 3 hops", r, ok)
+	}
+}
+
+func TestMappingPartitionedFabric(t *testing.T) {
+	// Two disconnected switches: hosts see only their own island.
+	e := sim.NewEngine()
+	n := New(e, hw.Default())
+	sw0, sw1 := n.AddSwitch(8), n.AddSwitch(8)
+	for i := 0; i < 2; i++ {
+		nic := n.AddNIC()
+		if err := n.AttachNIC(nic, sw0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		nic := n.AddNIC()
+		if err := n.AttachNIC(nic, sw1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := StartMapping(n, 3, 20*sim.Microsecond)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tables := m.Tables()
+	if _, ok := tables[0][1]; !ok {
+		t.Error("same-island route missing")
+	}
+	if _, ok := tables[0][2]; ok {
+		t.Error("route across a partition discovered")
+	}
+	if _, ok := tables[2][3]; !ok {
+		t.Error("second island's internal route missing")
+	}
+}
+
+func TestCRCStormDoesNotWedgeTheSystem(t *testing.T) {
+	// Inject corruption into a burst of packets mid-stream: the receiver
+	// drops them all (no recovery, §4.2) and later traffic still flows.
+	e := sim.NewEngine()
+	n := New(e, hw.Default())
+	sw := n.AddSwitch(8)
+	a, b := n.AddNIC(), n.AddNIC()
+	if err := n.AttachNIC(a, sw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachNIC(b, sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	corrupted, clean := 0, 0
+	e.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			pk := b.RX.Get(p)
+			if pk.CheckCRC() {
+				clean++
+			} else {
+				corrupted++
+			}
+		}
+	})
+	e.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			a.Send(p, []byte{1}, []byte{byte(i)})
+		}
+		n.InjectBitError(10)
+		for i := 5; i < 15; i++ {
+			a.Send(p, []byte{1}, []byte{byte(i)})
+		}
+		for i := 15; i < 20; i++ {
+			a.Send(p, []byte{1}, []byte{byte(i)})
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if corrupted != 10 || clean != 10 {
+		t.Errorf("corrupted=%d clean=%d, want 10/10", corrupted, clean)
+	}
+}
+
+func TestNICStats(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, hw.Default())
+	sw := n.AddSwitch(8)
+	a, b := n.AddNIC(), n.AddNIC()
+	if err := n.AttachNIC(a, sw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachNIC(b, sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			b.RX.Get(p)
+		}
+	})
+	e.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			a.Send(p, []byte{1}, []byte("x"))
+		}
+		a.Send(p, []byte{7}, []byte("dead")) // unconnected port
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	inj, del := a.Stats()
+	if inj != 4 || del != 0 {
+		t.Errorf("sender stats = %d,%d", inj, del)
+	}
+	inj, del = b.Stats()
+	if inj != 0 || del != 3 {
+		t.Errorf("receiver stats = %d,%d", inj, del)
+	}
+	dropped, reason := n.Dropped()
+	if dropped != 1 || reason == "" {
+		t.Errorf("dropped = %d (%q)", dropped, reason)
+	}
+}

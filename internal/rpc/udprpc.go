@@ -1,0 +1,140 @@
+package rpc
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/sim"
+	"repro/internal/xdr"
+)
+
+// Classic SunRPC over UDP, the compatibility baseline vRPC's server can
+// also speak (§5.4: "the server in vRPC can handle clients using either
+// the old (UDP- and TCP-based) or the new (VMMC-based) protocols"). The
+// kernel socket stack is modeled with millisecond-class Ethernet latency
+// and per-message syscall/stack costs; the paper quotes no number for it
+// (the vRPC paper [2] does), so this baseline is marked modeled in
+// EXPERIMENTS.md. Its role is the orders-of-magnitude contrast with the
+// 66 us VMMC path.
+
+var (
+	syscallCost  = sim.Micros(35)  // enter/exit kernel, socket layer
+	udpStackCost = sim.Micros(110) // IP/UDP processing + kernel buffer copies
+)
+
+// UDPServer is a SunRPC/UDP server on an Ethernet node.
+type UDPServer struct {
+	eth      *ether.Bus
+	node     int
+	handlers map[procKey]Handler
+	Calls    int64
+}
+
+// udpDatagram is an RPC message on the modeled Ethernet.
+type udpDatagram struct {
+	from    int
+	payload []byte
+}
+
+// NewUDPServer registers the server's mailbox on the Ethernet.
+func NewUDPServer(eng *sim.Engine, eth *ether.Bus, node int) *UDPServer {
+	s := &UDPServer{eth: eth, node: node, handlers: make(map[procKey]Handler)}
+	box := eth.Register(node)
+	eng.Go(fmt.Sprintf("sunrpc:udp:%d", node), func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			m := box.Get(p)
+			dg, ok := m.Body.(udpDatagram)
+			if !ok {
+				continue
+			}
+			s.serve(p, dg)
+		}
+	})
+	return s
+}
+
+// Register installs a handler.
+func (s *UDPServer) Register(prog, vers, proc uint32, h Handler) {
+	s.handlers[procKey{prog, vers, proc}] = h
+}
+
+func (s *UDPServer) serve(p *sim.Proc, dg udpDatagram) {
+	p.Sleep(syscallCost + udpStackCost) // recvfrom path
+	hostBcopy(p, len(dg.payload))       // kernel-to-user copy
+	p.Sleep(serverStub)
+	s.Calls++
+	hdr, args, err := xdr.DecodeCall(dg.payload)
+	p.Sleep(xdrCost(len(dg.payload)))
+	var enc *xdr.Encoder
+	switch {
+	case err != nil:
+		enc = xdr.EncodeReply(hdr.XID, xdr.AcceptGarbageArgs)
+	default:
+		h, found := s.handlers[procKey{hdr.Prog, hdr.Vers, hdr.Proc}]
+		if !found {
+			enc = xdr.EncodeReply(hdr.XID, xdr.AcceptProcUnavail)
+		} else {
+			enc = xdr.EncodeReply(hdr.XID, xdr.AcceptSuccess)
+			if stat := h(p, args, enc); stat != xdr.AcceptSuccess {
+				enc = xdr.EncodeReply(hdr.XID, stat)
+			}
+		}
+	}
+	p.Sleep(xdrCost(enc.Len()))
+	p.Sleep(syscallCost + udpStackCost) // sendto path
+	s.eth.Send(p, s.node, dg.from, "rpc", udpDatagram{from: s.node, payload: enc.Bytes()})
+}
+
+// UDPClient is a SunRPC/UDP client.
+type UDPClient struct {
+	eth     *ether.Bus
+	node    int
+	server  int
+	box     *sim.Queue[ether.Message]
+	nextXID uint32
+}
+
+// NewUDPClient binds a client socket on node.
+func NewUDPClient(eth *ether.Bus, node, server int) *UDPClient {
+	return &UDPClient{eth: eth, node: node, server: server, box: eth.Register(node), nextXID: 1}
+}
+
+// Call performs a synchronous SunRPC/UDP call.
+func (c *UDPClient) Call(p *sim.Proc, prog, vers, proc uint32, args func(*xdr.Encoder), res func(*xdr.Decoder) error) error {
+	p.Sleep(clientStub)
+	xid := c.nextXID
+	c.nextXID++
+	enc := xdr.EncodeCall(xdr.CallHeader{XID: xid, Prog: prog, Vers: vers, Proc: proc})
+	if args != nil {
+		args(enc)
+	}
+	p.Sleep(xdrCost(enc.Len()))
+	p.Sleep(syscallCost + udpStackCost)
+	c.eth.Send(p, c.node, c.server, "rpc", udpDatagram{from: c.node, payload: enc.Bytes()})
+
+	for {
+		m := c.box.Get(p)
+		dg, ok := m.Body.(udpDatagram)
+		if !ok {
+			continue
+		}
+		p.Sleep(syscallCost + udpStackCost)
+		hostBcopy(p, len(dg.payload))
+		p.Sleep(xdrCost(len(dg.payload)))
+		gotXID, stat, dec, err := xdr.DecodeReply(dg.payload)
+		if err != nil {
+			return err
+		}
+		if gotXID != xid {
+			continue // stale reply
+		}
+		if stat != xdr.AcceptSuccess {
+			return ErrSystem
+		}
+		if res != nil {
+			return res(dec)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,90 @@
+package shrimp
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Automatic update (§6, footnote 3): SHRIMP's second transfer mode. The
+// interface's memory-bus snooping card watches writes to bound local
+// pages and propagates them to the imported destination automatically —
+// the sender pays (almost) nothing beyond its ordinary stores, and no
+// explicit send is ever issued. Myrinet cannot offer this mode because
+// the PCI card cannot observe the memory bus, which is why the paper's
+// comparison uses deliberate update only; this file implements the mode
+// as the natural SHRIMP extension.
+
+// autoBinding maps a local page-aligned region to an imported destination.
+type autoBinding struct {
+	localVA mem.VirtAddr
+	dest    ProxyAddr
+	length  int
+}
+
+// BindAutomatic establishes an automatic-update mapping: subsequent
+// WriteAuto stores into [localVA, localVA+n) propagate to the imported
+// destination at the same offset. The local region must be page aligned
+// (the snooping card matches physical pages).
+func (p *Process) BindAutomatic(sp *sim.Proc, localVA mem.VirtAddr, dest ProxyAddr, n int) error {
+	if localVA.Offset() != 0 || n <= 0 || !p.AS.Mapped(localVA, n) {
+		return ErrBadBuffer
+	}
+	if _, _, err := p.findImport(dest, n); err != nil {
+		return err
+	}
+	// The OS installs the snoop mappings — more OS involvement, as §6
+	// notes for SHRIMP generally.
+	sp.Sleep(120 * sim.Microsecond)
+	p.autoBindings = append(p.autoBindings, autoBinding{localVA: localVA, dest: dest, length: n})
+	return nil
+}
+
+// WriteAuto performs ordinary local stores into an automatically-mapped
+// region; the snooping hardware picks the writes off the memory bus and
+// sends them to the destination without any explicit send. Sender-side
+// cost is just the stores plus a tiny snoop-queue tax; propagation is
+// asynchronous at EISA DMA speed.
+func (p *Process) WriteAuto(sp *sim.Proc, va mem.VirtAddr, data []byte) error {
+	b := p.findBinding(va, len(data))
+	if b == nil {
+		return fmt.Errorf("shrimp: %w: va %#x not automatically mapped", ErrBadBuffer, va)
+	}
+	if err := p.AS.WriteBytes(va, data); err != nil {
+		return err
+	}
+	// Snoop-queue occupancy: a fraction of a microsecond per cache line
+	// of written data — the "almost free" sender side of automatic
+	// update.
+	lines := (len(data) + 31) / 32
+	sp.Sleep(sim.Time(lines) * sim.Micros(0.05))
+
+	prof := p.Node.sys.Prof
+	rec, destOff, err := p.findImport(b.dest, b.length)
+	if err != nil {
+		return err
+	}
+	off := destOff + int(va-b.localVA)
+	remote := p.Node.sys.Nodes[rec.destNode]
+	payload := append([]byte(nil), data...)
+	// Propagation runs behind the sender: snoop FIFO -> EISA DMA ->
+	// wire -> remote deposit.
+	sp.Engine().Go("shrimp:auto", func(ap *sim.Proc) {
+		p.Node.DMA.Transfer(ap, len(payload))
+		ap.Sleep(prof.WireLatency + prof.RecvCost)
+		writeRemote(remote, rec, off, payload)
+		remote.Activity.Broadcast()
+	})
+	return nil
+}
+
+func (p *Process) findBinding(va mem.VirtAddr, n int) *autoBinding {
+	for i := range p.autoBindings {
+		b := &p.autoBindings[i]
+		if va >= b.localVA && int(va-b.localVA)+n <= b.length {
+			return b
+		}
+	}
+	return nil
+}

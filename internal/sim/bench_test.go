@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// Simulator-engine throughput benchmarks: these measure the harness, not
+// the reproduced system (those metrics live in the repo root's
+// bench_test.go as sim-* values).
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var schedule func()
+	schedule = func() {
+		n++
+		if n < b.N {
+			e.After(1, schedule)
+		}
+	}
+	e.After(1, schedule)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPingPongProcs(b *testing.B) {
+	e := NewEngine()
+	q1 := NewQueue[int](e, "q1")
+	q2 := NewQueue[int](e, "q2")
+	e.Go("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.Put(i)
+			q2.Get(p)
+		}
+	})
+	e.Go("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			v := q1.Get(p)
+			q2.Put(v)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkResourceHandoff(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "r")
+	for w := 0; w < 4; w++ {
+		e.Go("w", func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				r.Use(p, 1)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+// Cond is a condition variable for simulation processes. Unlike sync.Cond
+// there is no associated lock: model state is already serialized by the
+// engine. The usual pattern still applies — re-check the guarded predicate
+// in a loop around Wait, since another process may run between the signal
+// and the wakeup.
+type Cond struct {
+	eng     *Engine
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p       *Proc
+	woken   bool
+	timeout *Event // pending timeout, nil for plain Wait
+}
+
+// NewCond returns a condition variable bound to eng.
+func NewCond(eng *Engine) *Cond { return &Cond{eng: eng} }
+
+// Wait parks p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	p.park("cond wait")
+}
+
+// WaitTimeout parks p until woken or until d elapses. It reports true if
+// the process was woken by Signal/Broadcast and false on timeout.
+func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
+	w := &condWaiter{p: p}
+	w.timeout = c.eng.After(d, func() {
+		// Timed out: withdraw from the waiter list and resume.
+		c.remove(w)
+		c.eng.schedule(p)
+	})
+	c.waiters = append(c.waiters, w)
+	p.park("cond wait (timeout)")
+	return w.woken
+}
+
+// Signal wakes the longest-waiting live process, if any. The wakeup is
+// scheduled at the current time; the woken process runs after the caller
+// parks or the current event returns. Waiters that died (killed while
+// parked here) are discarded so they cannot swallow the signal.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if !c.eng.alive(w.p) || w.p.killed {
+			// Dead or dying waiters cannot consume the signal; their
+			// kill wakeup unwinds them independently.
+			continue
+		}
+		c.wake(w)
+		return
+	}
+}
+
+// Broadcast wakes all live waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		if c.eng.alive(w.p) && !w.p.killed {
+			c.wake(w)
+		}
+	}
+}
+
+func (c *Cond) wake(w *condWaiter) {
+	w.woken = true
+	if w.timeout != nil {
+		w.timeout.Cancel()
+	}
+	c.eng.After(0, func() { c.eng.schedule(w.p) })
+}
+
+func (c *Cond) remove(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Waiting reports the number of processes currently parked on c.
+func (c *Cond) Waiting() int { return len(c.waiters) }

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event's callback from running. Canceling an event
+// that already fired or was already canceled is a no-op.
+func (ev *Event) Cancel() {
+	ev.canceled = true
+	ev.fn = nil
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// Time reports when the event is (or was) scheduled to fire.
+func (ev *Event) Time() Time { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   map[*Proc]struct{} // live (spawned, not finished) processes
+	stopped bool
+	trace   func(t Time, format string, args ...any)
+}
+
+// NewEngine returns an engine with the clock at zero and no events.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTrace installs a trace sink invoked by Tracef. A nil sink disables
+// tracing.
+func (e *Engine) SetTrace(fn func(t Time, format string, args ...any)) {
+	e.trace = fn
+}
+
+// Tracef emits a trace line at the current virtual time if tracing is on.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(e.now, format, args...)
+	}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. A non-positive d
+// schedules it at the current time (it still runs after the current event
+// completes).
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain or Stop is called. It returns an
+// error if live processes remain parked with no pending events — a
+// deadlock in the model.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.checkStall()
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// It returns a deadlock error under the same conditions as Run if the event
+// queue drains early.
+func (e *Engine) RunUntil(t Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if e.events.Len() == 0 {
+			if err := e.checkStall(); err != nil {
+				return err
+			}
+			break
+		}
+		if e.events[0].at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return nil
+}
+
+func (e *Engine) checkStall() error {
+	if e.events.Len() > 0 {
+		return nil
+	}
+	var parked []string
+	for p := range e.procs {
+		if p.parkedAt != "" && !p.daemon {
+			parked = append(parked, p.name+" ("+p.parkedAt+")")
+		}
+	}
+	if len(parked) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sim: deadlock at %v: %d process(es) parked forever: %v",
+		e.now, len(parked), parked)
+}
+
+// Pending reports the number of scheduled (non-canceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Parked returns a description of every live process currently parked,
+// with its blocking site. Useful for diagnosing model-level hangs.
+func (e *Engine) Parked() []string {
+	var out []string
+	for p := range e.procs {
+		if p.parkedAt != "" {
+			out = append(out, p.name+" ("+p.parkedAt+")")
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParkedIntrospection(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go("waiter", func(p *Proc) { c.Wait(p) })
+	e.At(10, func() {
+		parked := e.Parked()
+		if len(parked) != 1 || !strings.Contains(parked[0], "waiter") {
+			t.Errorf("Parked() = %v", parked)
+		}
+		c.Signal()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Parked(); len(got) != 0 {
+		t.Errorf("Parked() after completion = %v", got)
+	}
+}
+
+func TestTraceSink(t *testing.T) {
+	e := NewEngine()
+	var lines []string
+	e.SetTrace(func(tm Time, format string, args ...any) {
+		lines = append(lines, fmt.Sprintf("%v: ", tm)+fmt.Sprintf(format, args...))
+	})
+	e.At(5, func() { e.Tracef("event %d", 1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "event 1") {
+		t.Errorf("trace = %v", lines)
+	}
+	e.SetTrace(nil)
+	e.Tracef("dropped") // must not panic
+}
+
+func TestDaemonProcsDoNotDeadlock(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go("service", func(p *Proc) {
+		p.SetDaemon(true)
+		c.Wait(p) // parked forever, but a daemon
+	})
+	e.Go("work", func(p *Proc) { p.Sleep(10) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("daemon park reported as deadlock: %v", err)
+	}
+}
+
+func TestMixedDaemonAndStuckProcStillDeadlocks(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go("service", func(p *Proc) {
+		p.SetDaemon(true)
+		c.Wait(p)
+	})
+	e.Go("stuck", func(p *Proc) { c.Wait(p) })
+	if err := e.Run(); err == nil {
+		t.Fatal("non-daemon stuck proc not reported")
+	} else if !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("error %v does not name the stuck proc", err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	ev1 := e.At(10, func() {})
+	e.At(20, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	ev1.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("Pending after cancel = %d", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillWhileQueueWaiting(t *testing.T) {
+	// Killing a process parked in Queue.Get must not swallow later items:
+	// live consumers still receive everything.
+	e := NewEngine()
+	q := NewQueue[int](e, "q")
+	victim := e.Go("victim", func(p *Proc) { q.Get(p) })
+	var got []int
+	e.Go("survivor", func(p *Proc) {
+		p.Sleep(20)
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.At(5, func() { victim.Kill() })
+	e.At(30, func() { q.Put(1); q.Put(2); q.Put(3) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("survivor got %v", got)
+	}
+}
+
+func TestResourceQueueSurvivesKilledWaiter(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "res")
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(100)
+		r.Release(p)
+	})
+	victim := e.Go("victim", func(p *Proc) {
+		p.Sleep(1)
+		r.Acquire(p)
+		t.Error("killed waiter acquired the resource")
+	})
+	acquired := false
+	e.Go("next", func(p *Proc) {
+		p.Sleep(2)
+		r.Acquire(p)
+		acquired = true
+		r.Release(p)
+	})
+	e.At(10, func() { victim.Kill() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !acquired {
+		t.Error("queue stalled behind the killed waiter")
+	}
+}
+
+func TestYield(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a1,b1,a2"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("order = %s, want %s", got, want)
+	}
+}

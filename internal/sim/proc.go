@@ -1,0 +1,126 @@
+package sim
+
+import "fmt"
+
+// Proc is a goroutine-backed simulation process. A process runs model code
+// sequentially in virtual time, blocking on Sleep, conditions, resources
+// and queues. The engine guarantees at most one process (or event callback)
+// executes at any real-time instant, so model state needs no locking.
+//
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	parked   chan bool // true = goroutine finished
+	parkedAt string    // human-readable blocking site, "" while runnable
+	killed   bool
+	daemon   bool
+}
+
+// SetDaemon marks the process as a background service (an LCP, a daemon,
+// a responder loop). Daemon processes parked forever do not count as a
+// deadlock: a simulation whose only remaining activity is idle services
+// terminates normally.
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// procKilled is the panic value used to unwind a killed process.
+type procKilled struct{ name string }
+
+// Go spawns a process named name running fn. The process starts at the
+// current virtual time, after already-scheduled same-time events.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan bool),
+	}
+	e.procs[p] = struct{}{}
+	e.After(0, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if pk, ok := r.(procKilled); ok && pk.name == p.name {
+						p.parked <- true
+						return
+					}
+					panic(r)
+				}
+			}()
+			<-p.resume
+			fn(p)
+			p.parked <- true
+		}()
+		e.schedule(p)
+	})
+	return p
+}
+
+// alive reports whether p has been spawned and not yet finished.
+func (e *Engine) alive(p *Proc) bool {
+	_, ok := e.procs[p]
+	return ok
+}
+
+// schedule hands the CPU to p and waits until it parks or finishes.
+// Called only from the engine goroutine (inside an event callback).
+// Scheduling a finished process is a harmless no-op, so stale wakeups
+// (e.g. a condition broadcast racing a Kill) are safe.
+func (e *Engine) schedule(p *Proc) {
+	if _, live := e.procs[p]; !live {
+		return
+	}
+	p.parkedAt = ""
+	p.resume <- struct{}{}
+	if done := <-p.parked; done {
+		delete(e.procs, p)
+	}
+}
+
+// park blocks the process until another event calls e.schedule(p).
+func (p *Proc) park(where string) {
+	p.parkedAt = where
+	p.parked <- false
+	<-p.resume
+	if p.killed {
+		panic(procKilled{p.name})
+	}
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Sleep suspends the process for duration d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.After(d, func() { p.eng.schedule(p) })
+	p.park(fmt.Sprintf("sleep until %v", p.eng.now+d))
+}
+
+// Yield reschedules the process at the current time, letting other
+// same-time events run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill terminates the process the next time it would resume from a park.
+// A killed process unwinds via panic/recover; deferred functions run.
+// Kill must be called from outside the target process (an event callback
+// or another process) while the target is parked or runnable; killing a
+// finished process is a no-op.
+func (p *Proc) Kill() {
+	p.killed = true
+	p.eng.After(0, func() { p.eng.schedule(p) })
+}
+
+// Tracef emits an engine trace line tagged with the process name.
+func (p *Proc) Tracef(format string, args ...any) {
+	p.eng.Tracef("["+p.name+"] "+format, args...)
+}

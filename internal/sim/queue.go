@@ -1,0 +1,74 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox connecting simulation processes (and
+// event callbacks, which may Put without blocking). Gets block until an
+// item is available; items are delivered in insertion order and each item
+// goes to exactly one getter.
+type Queue[T any] struct {
+	eng   *Engine
+	name  string
+	items []T
+	cond  *Cond
+}
+
+// NewQueue returns an empty queue named name.
+func NewQueue[T any](eng *Engine, name string) *Queue[T] {
+	return &Queue[T]{eng: eng, name: name, cond: NewCond(eng)}
+}
+
+// Put appends v and wakes one waiting getter, if any. Put never blocks and
+// may be called from event callbacks as well as processes.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Get removes and returns the oldest item, blocking p until one exists.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}
+
+// GetTimeout is like Get but gives up after d, reporting ok=false.
+func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
+	deadline := q.eng.Now() + d
+	for len(q.items) == 0 {
+		remain := deadline - q.eng.Now()
+		if remain <= 0 || !q.cond.WaitTimeout(p, remain) {
+			if len(q.items) > 0 {
+				break // an item arrived exactly at the deadline
+			}
+			return v, false
+		}
+	}
+	return q.Get(p), true
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,111 @@
+package sim
+
+import "fmt"
+
+// Resource models a unit-capacity resource with FIFO arbitration — a bus,
+// a DMA engine, a lock. Processes Acquire it, hold it across virtual time,
+// and Release it; contenders queue in arrival order.
+type Resource struct {
+	eng    *Engine
+	name   string
+	holder *Proc
+	queue  []*Proc
+	// accounting
+	busySince Time
+	busyTotal Time
+	acquires  int64
+}
+
+// NewResource returns an idle resource named name.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Acquire blocks p until it holds the resource.
+func (r *Resource) Acquire(p *Proc) {
+	if r.holder == nil {
+		r.grant(p)
+		return
+	}
+	if r.holder == p {
+		panic(fmt.Sprintf("sim: %s re-acquired by holder %s", r.name, p.Name()))
+	}
+	r.queue = append(r.queue, p)
+	p.park("acquire " + r.name)
+}
+
+// TryAcquire acquires the resource if it is free, without blocking. It
+// reports whether the acquisition succeeded.
+func (r *Resource) TryAcquire(p *Proc) bool {
+	if r.holder != nil {
+		return false
+	}
+	r.grant(p)
+	return true
+}
+
+func (r *Resource) grant(p *Proc) {
+	r.holder = p
+	r.busySince = r.eng.Now()
+	r.acquires++
+}
+
+// Release frees the resource and hands it to the next live queued process,
+// if any. Only the holder may release. Waiters that died or were killed
+// while queued are skipped — granting to one would leak the resource,
+// since a killed process unwinds without releasing.
+func (r *Resource) Release(p *Proc) {
+	if r.holder != p {
+		panic(fmt.Sprintf("sim: %s released by %s but held by %v", r.name, p.Name(), holderName(r.holder)))
+	}
+	r.busyTotal += r.eng.Now() - r.busySince
+	r.holder = nil
+	for len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		if !r.eng.alive(next) || next.killed {
+			continue
+		}
+		r.grant(next)
+		r.eng.After(0, func() { r.eng.schedule(next) })
+		return
+	}
+}
+
+func holderName(p *Proc) string {
+	if p == nil {
+		return "<none>"
+	}
+	return p.Name()
+}
+
+// Use acquires the resource, holds it for duration d, and releases it.
+// This is the common pattern for charging bus or engine occupancy.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release(p)
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.holder != nil }
+
+// QueueLen reports the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Utilization reports the fraction of virtual time the resource has been
+// held, up to the current time.
+func (r *Resource) Utilization() float64 {
+	now := r.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := r.busyTotal
+	if r.holder != nil {
+		busy += now - r.busySince
+	}
+	return float64(busy) / float64(now)
+}
+
+// Acquires reports how many times the resource has been granted.
+func (r *Resource) Acquires() int64 { return r.acquires }

@@ -1,0 +1,155 @@
+package vmmc
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/hw"
+	"repro/internal/lanai"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// Cluster is the full platform: N PCs with Myrinet interfaces on a switch
+// fabric, plus the Ethernet the daemons use. Boot performs the paper's
+// §4.3 sequence — run the mapping LCP, extract routes, then replace it
+// with the VMMC LCP on every node.
+type Cluster struct {
+	Eng   *sim.Engine
+	Prof  hw.Profile
+	Net   *myrinet.Network
+	Ether *ether.Bus
+	Nodes []*Node
+
+	booted   bool
+	bootErr  error
+	bootCond *sim.Cond
+}
+
+// Options configure a cluster.
+type Options struct {
+	// Nodes is the PC count (the paper's testbed has 4).
+	Nodes int
+	// MemBytes is physical memory per node; it must be a multiple of the
+	// page size. Defaults to 16 MB.
+	MemBytes int
+	// Prof overrides the platform profile. Zero value means hw.Default().
+	Prof *hw.Profile
+	// Reliable enables the optional data-link reliability layer on every
+	// board (VMMC-2-style go-back-N; see internal/lanai/reliable.go).
+	// The paper's configuration is false: CRC errors are detected but
+	// never recovered (§4.2).
+	Reliable bool
+}
+
+// hostsPerSwitch leaves two ports per 8-port switch for trunking.
+const hostsPerSwitch = 6
+
+// NewCluster builds the hardware: for up to 8 nodes, one 8-port switch
+// (the paper's M2F-SW8); beyond that, a chain of switches with 6 hosts
+// each. The software boots when Boot runs inside the simulation.
+func NewCluster(eng *sim.Engine, opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		return nil, fmt.Errorf("vmmc: cluster needs at least one node")
+	}
+	prof := hw.Default()
+	if opts.Prof != nil {
+		prof = *opts.Prof
+	}
+	memBytes := opts.MemBytes
+	if memBytes == 0 {
+		memBytes = 16 << 20
+	}
+
+	c := &Cluster{
+		Eng:      eng,
+		Prof:     prof,
+		Net:      myrinet.New(eng, prof),
+		Ether:    ether.New(eng, sim.Millisecond),
+		bootCond: sim.NewCond(eng),
+	}
+
+	if opts.Nodes <= 8 {
+		sw := c.Net.AddSwitch(8)
+		for i := 0; i < opts.Nodes; i++ {
+			nic := c.Net.AddNIC()
+			if err := c.Net.AttachNIC(nic, sw, i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		nsw := (opts.Nodes + hostsPerSwitch - 1) / hostsPerSwitch
+		switches := make([]*myrinet.Switch, nsw)
+		for i := range switches {
+			switches[i] = c.Net.AddSwitch(8)
+			if i > 0 {
+				if err := c.Net.ConnectSwitches(switches[i-1], 7, switches[i], 6); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for i := 0; i < opts.Nodes; i++ {
+			nic := c.Net.AddNIC()
+			if err := c.Net.AttachNIC(nic, switches[i/hostsPerSwitch], i%hostsPerSwitch); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for i, nic := range c.Net.NICs() {
+		node := newNode(eng, prof, i, nic, memBytes, c.Ether)
+		if opts.Reliable {
+			if _, err := node.Board.EnableReliability(lanai.DefaultReliability()); err != nil {
+				return nil, err
+			}
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c, nil
+}
+
+// Boot schedules the boot sequence; it completes as the simulation runs.
+func (c *Cluster) Boot() {
+	depth := len(c.Net.Switches()) + 1
+	mapping := myrinet.StartMapping(c.Net, depth, 20*sim.Microsecond)
+	c.Eng.Go("cluster:boot", func(p *simProc) {
+		mapping.Wait(p)
+		tables := mapping.Tables()
+		for _, n := range c.Nodes {
+			if err := n.start(tables[n.ID]); err != nil {
+				c.bootErr = fmt.Errorf("vmmc: node %d boot: %w", n.ID, err)
+				break
+			}
+		}
+		c.booted = true
+		c.bootCond.Broadcast()
+	})
+}
+
+// WaitBoot parks p until the boot sequence finishes.
+func (c *Cluster) WaitBoot(p *simProc) error {
+	for !c.booted {
+		c.bootCond.Wait(p)
+	}
+	return c.bootErr
+}
+
+// Go spawns a workload process that starts once the cluster is booted.
+func (c *Cluster) Go(name string, fn func(p *simProc)) {
+	c.Eng.Go(name, func(p *simProc) {
+		if err := c.WaitBoot(p); err != nil {
+			panic(err)
+		}
+		fn(p)
+	})
+}
+
+// Start boots the cluster and runs the simulation until the workload
+// processes spawned with Go complete.
+func (c *Cluster) Start() error {
+	c.Boot()
+	if err := c.Eng.Run(); err != nil {
+		return err
+	}
+	return c.bootErr
+}

@@ -1,0 +1,289 @@
+package vmmc
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Daemon is the per-node VMMC daemon (§4.1): trusted user-level software
+// that matches export and import requests and installs the page-table
+// entries that make transfers possible. Local processes reach it through
+// (modeled) local IPC; daemons reach each other over Ethernet (§4.4).
+type Daemon struct {
+	node *Node
+	eth  *ether.Bus
+	box  *sim.Queue[ether.Message]
+
+	// exports is this node's registry, keyed by tag.
+	exports map[uint32]*exportInfo
+
+	// import replies pending from remote daemons, keyed by request id.
+	nextReq int
+	waiting map[int]*importWait
+
+	exportsServed int64
+	importsServed int64
+}
+
+type exportInfo struct {
+	pid       int
+	tag       uint32
+	baseVA    mem.VirtAddr
+	length    int
+	frames    []int
+	allowed   []ProcID // nil = anyone may import
+	notifyOK  bool
+	importers int
+}
+
+// ProcID names a process cluster-wide.
+type ProcID struct {
+	Node int
+	Pid  int
+}
+
+// Daemon wire messages (ether bodies).
+type importReq struct {
+	ReqID    int
+	Importer ProcID
+	Tag      uint32
+}
+
+type importRep struct {
+	ReqID  int
+	Err    string
+	Frames []int
+	Length int
+}
+
+type unimportMsg struct {
+	Tag uint32
+}
+
+type importWait struct {
+	done bool
+	rep  importRep
+	cond *sim.Cond
+}
+
+const daemonIPCCost = 30 * sim.Microsecond // local process <-> daemon round trip
+
+func newDaemon(n *Node, eth *ether.Bus) *Daemon {
+	return &Daemon{
+		node:    n,
+		eth:     eth,
+		box:     eth.Register(n.ID),
+		exports: make(map[uint32]*exportInfo),
+		waiting: make(map[int]*importWait),
+	}
+}
+
+// start launches the daemon's Ethernet service loop.
+func (d *Daemon) start() {
+	d.node.Eng.Go(fmt.Sprintf("daemon:%d", d.node.ID), func(p *simProc) {
+		p.SetDaemon(true)
+		for {
+			m := d.box.Get(p)
+			switch body := m.Body.(type) {
+			case importReq:
+				d.serveImport(p, m.From, body)
+			case importRep:
+				if w, ok := d.waiting[body.ReqID]; ok {
+					delete(d.waiting, body.ReqID)
+					w.rep = body
+					w.done = true
+					w.cond.Broadcast()
+				}
+			case unimportMsg:
+				if e, ok := d.exports[body.Tag]; ok && e.importers > 0 {
+					e.importers--
+				}
+			default:
+				panic(fmt.Sprintf("daemon%d: unknown message %T", d.node.ID, m.Body))
+			}
+		}
+	})
+}
+
+// exportLocal registers an export: the daemon locks the receive buffer
+// pages in memory and sets the incoming page table entries to allow data
+// reception (§4.4). The buffer must be page aligned so no unrelated data
+// shares an exported frame.
+func (d *Daemon) exportLocal(p *simProc, proc *Process, tag uint32, va mem.VirtAddr, n int, allowed []ProcID, notifyOK bool) (*exportInfo, error) {
+	p.Sleep(daemonIPCCost)
+	if va.Offset() != 0 {
+		return nil, ErrNotAligned
+	}
+	if n <= 0 || !proc.AS.Mapped(va, n) {
+		return nil, ErrBadBuffer
+	}
+	if _, dup := d.exports[tag]; dup {
+		return nil, ErrAlreadyInUse
+	}
+	frames, err := d.node.Driver.translateAndLock(proc, va, n)
+	if err != nil {
+		return nil, err
+	}
+	info := &exportInfo{
+		pid:      proc.Pid,
+		tag:      tag,
+		baseVA:   va,
+		length:   n,
+		frames:   frames,
+		allowed:  allowed,
+		notifyOK: notifyOK,
+	}
+	d.exports[tag] = info
+
+	// Install incoming page table entries: whole frames are writable,
+	// clipped to the exported extent on the final partial page.
+	for i, f := range frames {
+		end := mem.PageSize
+		if last := n - i*mem.PageSize; last < end {
+			end = last
+		}
+		d.node.LCP.incoming.set(f, inEntry{
+			writable: true,
+			notifyOK: notifyOK,
+			owner:    proc.Pid,
+			tag:      tag,
+			frameVA:  va + mem.VirtAddr(i*mem.PageSize),
+			baseVA:   va,
+			start:    0,
+			end:      end,
+		})
+	}
+	d.exportsServed++
+	return info, nil
+}
+
+// unexportLocal removes an export; it fails while remote imports remain.
+func (d *Daemon) unexportLocal(p *simProc, proc *Process, tag uint32) error {
+	p.Sleep(daemonIPCCost)
+	info, ok := d.exports[tag]
+	if !ok || info.pid != proc.Pid {
+		return ErrNotExported
+	}
+	if info.importers > 0 {
+		return ErrStillImported
+	}
+	if _, active := d.node.LCP.redirects[tag]; active {
+		return ErrStillImported // a posted redirect holds the export live
+	}
+	for _, f := range info.frames {
+		d.node.LCP.incoming.clear(f)
+	}
+	d.node.Driver.unlock(info.frames)
+	delete(d.exports, tag)
+	delete(d.node.LCP.arrivedHW, tag)
+	return nil
+}
+
+// importRemote resolves an import against the exporting node's daemon: it
+// obtains the receive buffer's physical frame list over Ethernet, then
+// installs outgoing page table entries mapping fresh proxy pages to those
+// remote frames (§4.4).
+func (d *Daemon) importRemote(p *simProc, proc *Process, exporterNode int, tag uint32) (ProxyAddr, int, error) {
+	p.Sleep(daemonIPCCost)
+	d.nextReq++
+	req := importReq{
+		ReqID:    d.nextReq,
+		Importer: ProcID{Node: d.node.ID, Pid: proc.Pid},
+		Tag:      tag,
+	}
+	w := &importWait{cond: sim.NewCond(d.node.Eng)}
+	d.waiting[req.ReqID] = w
+	d.eth.Send(p, d.node.ID, exporterNode, "import-req", req)
+	for !w.done {
+		w.cond.Wait(p)
+	}
+	rep := w.rep
+	if rep.Err != "" {
+		switch rep.Err {
+		case ErrDenied.Error():
+			return 0, 0, ErrDenied
+		case ErrNoSuchExport.Error():
+			return 0, 0, ErrNoSuchExport
+		default:
+			return 0, 0, fmt.Errorf("vmmc: import failed: %s", rep.Err)
+		}
+	}
+
+	pages := len(rep.Frames)
+	base, err := proc.lcpState.outPT.allocRange(pages)
+	if err != nil {
+		// Release the exporter-side reference we just took.
+		d.eth.Send(p, d.node.ID, exporterNode, "unimport", unimportMsg{Tag: tag})
+		return 0, 0, err
+	}
+	// The daemon writes the entries into board SRAM across the PCI bus.
+	d.node.CPU.MMIOWriteWords(p, pages)
+	for i, f := range rep.Frames {
+		vb := mem.PageSize
+		if last := rep.Length - i*mem.PageSize; last < vb {
+			vb = last
+		}
+		proc.lcpState.outPT.entries[base+i] = outEntry{
+			valid:      true,
+			destNode:   exporterNode,
+			destFrame:  f,
+			validBytes: vb,
+		}
+	}
+	proc.imports[base] = importRec{
+		exporterNode: exporterNode,
+		tag:          tag,
+		basePage:     base,
+		pages:        pages,
+		length:       rep.Length,
+	}
+	return ProxyAddr(base) << mem.PageShift, rep.Length, nil
+}
+
+// serveImport answers a remote daemon's import request.
+func (d *Daemon) serveImport(p *simProc, from int, req importReq) {
+	rep := importRep{ReqID: req.ReqID}
+	info, ok := d.exports[req.Tag]
+	switch {
+	case !ok:
+		rep.Err = ErrNoSuchExport.Error()
+	case !importAllowed(info.allowed, req.Importer):
+		rep.Err = ErrDenied.Error()
+	default:
+		rep.Frames = info.frames
+		rep.Length = info.length
+		info.importers++
+		d.importsServed++
+	}
+	d.eth.Send(p, d.node.ID, from, "import-rep", rep)
+}
+
+// unimportLocal drops an import: proxy pages are invalidated and the
+// exporter's daemon is told to decrement its reference count.
+func (d *Daemon) unimportLocal(p *simProc, proc *Process, rec importRec) error {
+	p.Sleep(daemonIPCCost)
+	proc.lcpState.outPT.freeRange(rec.basePage, rec.pages)
+	delete(proc.imports, rec.basePage)
+	d.eth.Send(p, d.node.ID, rec.exporterNode, "unimport", unimportMsg{Tag: rec.tag})
+	return nil
+}
+
+func importAllowed(allowed []ProcID, who ProcID) bool {
+	if len(allowed) == 0 {
+		return true
+	}
+	for _, a := range allowed {
+		if a == who {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats reports exports registered and imports granted by this daemon.
+func (d *Daemon) Stats() (exports, imports int64) {
+	return d.exportsServed, d.importsServed
+}

@@ -1,0 +1,386 @@
+package vmmc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// LCP is the VMMC LANai control program (§4): the software state machine
+// running on the board's single 33 MHz processor. It picks up send
+// requests from per-process send queues, translates send-buffer addresses
+// through per-process software TLBs, chunks and pipelines long messages,
+// injects packets with precomputed scatter headers, and on the receive
+// side deposits arriving chunks directly into pinned receive buffers
+// without interrupting the host CPU.
+//
+// All LCP work is serialized on one simulation process, mirroring the
+// single LANai: a long send in progress delays receive handling and vice
+// versa — which is exactly why bidirectional traffic loses the tight
+// sending loop and some bandwidth (§5.3).
+type LCP struct {
+	node   *Node
+	routes myrinet.RouteTable
+
+	incoming *IncomingTable
+	states   map[int]*lcpProcState
+	scan     []int // pids in queue-scan order
+	scanPtr  int
+
+	work *sim.Cond
+	rxq  []rxItem
+
+	curJob *sendJob
+
+	// Transfer redirection (redirect.go): active redirections by export
+	// tag, and the per-export arrival high-water mark used to size the
+	// early-arrival copy of a late posting.
+	redirects map[uint32]*redirectRec
+	arrivedHW map[uint32]int
+
+	// SRAM regions.
+	codeOff    int
+	stagingOff [2]int // double buffer for long-send chunks
+	recvOff    int    // receive staging
+	scratchOff int    // 8-byte completion scratch
+
+	stats LCPStats
+}
+
+// LCPStats counts LCP-observable events.
+type LCPStats struct {
+	PacketsOut, PacketsIn   int64
+	BytesOut, BytesIn       int64
+	CRCErrors               int64
+	ProtectionViolations    int64
+	TLBMissStalls           int64
+	TightLoopIterations     int64
+	MainLoopIterations      int64
+	SendsShort, SendsLong   int64
+	NotificationsRequested  int64
+	CompletionsWithError    int64
+	QueueScansTotalDistance int64
+}
+
+// rxItem is an arrived packet after link-layer filtering: data is the
+// VMMC-visible payload (identical to pk.Payload unless the optional
+// reliability layer unwrapped it).
+type rxItem struct {
+	data []byte
+	pk   *myrinet.Packet
+}
+
+// lcpProcState is the per-process state the interface keeps in SRAM: the
+// send queue, the outgoing page table and the software TLB (§4.4-4.5).
+type lcpProcState struct {
+	pid      int
+	sq       *SendQueue
+	outPT    *OutgoingTable
+	tlb      *TLB
+	statusPA mem.PhysAddr
+}
+
+// lcpCodeBytes reserves SRAM for the control program text, static data and
+// the routing tables extracted from the mapping LCP.
+const lcpCodeBytes = 48 << 10
+
+// Completion error codes written to the status word.
+const (
+	ceOK = iota
+	ceNotImported
+	ceOutOfRange
+	ceNoRoute
+	ceBadSource
+)
+
+func completionError(code uint32) error {
+	switch code {
+	case ceOK:
+		return nil
+	case ceNotImported:
+		return ErrNotImported
+	case ceOutOfRange:
+		return ErrOutOfRange
+	case ceNoRoute:
+		return fmt.Errorf("vmmc: no route to destination node")
+	case ceBadSource:
+		return ErrBadBuffer
+	default:
+		return fmt.Errorf("vmmc: unknown completion error %d", code)
+	}
+}
+
+func newLCP(n *Node, routes myrinet.RouteTable) (*LCP, error) {
+	l := &LCP{
+		node:      n,
+		routes:    routes,
+		states:    make(map[int]*lcpProcState),
+		work:      sim.NewCond(n.Eng),
+		redirects: make(map[uint32]*redirectRec),
+		arrivedHW: make(map[uint32]int),
+	}
+	sram := n.Board.SRAM
+	var err error
+	if l.codeOff, err = sram.Alloc(lcpCodeBytes, "lcp-code"); err != nil {
+		return nil, err
+	}
+	if l.incoming, err = newIncomingTable(sram, n.Phys.NumFrames()); err != nil {
+		return nil, err
+	}
+	for i := range l.stagingOff {
+		if l.stagingOff[i], err = sram.Alloc(mem.PageSize, "staging-send"); err != nil {
+			return nil, err
+		}
+	}
+	if l.recvOff, err = sram.Alloc(mem.PageSize, "staging-recv"); err != nil {
+		return nil, err
+	}
+	if l.scratchOff, err = sram.Alloc(8, "completion-scratch"); err != nil {
+		return nil, err
+	}
+
+	// The receive engine drains arriving packets into SRAM autonomously
+	// (the net-to-SRAM DMA engine runs concurrently with the LANai CPU,
+	// §3), then hands them to the LCP. Back-to-back packets serialize at
+	// wire rate on this engine.
+	n.Eng.Go(fmt.Sprintf("lcp:%d:rx", n.ID), func(p *simProc) {
+		p.SetDaemon(true)
+		for {
+			data, pk := n.Board.Receive(p)
+			l.rxq = append(l.rxq, rxItem{data: data, pk: pk})
+			l.work.Signal()
+		}
+	})
+	n.Eng.Go(fmt.Sprintf("lcp:%d", n.ID), func(p *simProc) {
+		p.SetDaemon(true)
+		l.run(p)
+	})
+	return l, nil
+}
+
+// Stats returns a copy of the LCP's counters.
+func (l *LCP) Stats() LCPStats { return l.stats }
+
+// registerProcess carves the per-process SRAM state out of the board.
+func (l *LCP) registerProcess(pid int) (*lcpProcState, error) {
+	sram := l.node.Board.SRAM
+	sq, err := newSendQueue(sram, pid)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProcessLimit, err)
+	}
+	outPT, err := newOutgoingTable(sram, pid)
+	if err != nil {
+		sram.Free(sq.sramOff)
+		return nil, fmt.Errorf("%w: %v", ErrProcessLimit, err)
+	}
+	tlb, err := newTLB(sram, pid)
+	if err != nil {
+		sram.Free(sq.sramOff)
+		sram.Free(outPT.sramOff)
+		return nil, fmt.Errorf("%w: %v", ErrProcessLimit, err)
+	}
+	st := &lcpProcState{pid: pid, sq: sq, outPT: outPT, tlb: tlb}
+	l.states[pid] = st
+	l.scan = append(l.scan, pid)
+	return st, nil
+}
+
+func (l *LCP) unregisterProcess(pid int) {
+	st, ok := l.states[pid]
+	if !ok {
+		return
+	}
+	sram := l.node.Board.SRAM
+	sram.Free(st.sq.sramOff)
+	sram.Free(st.outPT.sramOff)
+	sram.Free(st.tlb.sramOff)
+	delete(l.states, pid)
+	for i, id := range l.scan {
+		if id == pid {
+			l.scan = append(l.scan[:i], l.scan[i+1:]...)
+			break
+		}
+	}
+	if l.scanPtr >= len(l.scan) {
+		l.scanPtr = 0
+	}
+}
+
+// doorbell is rung by the library after posting a send request.
+func (l *LCP) doorbell() { l.work.Signal() }
+
+// hasWork checks for runnable work without charging time (the cost of
+// discovering work is charged by the handlers and the queue scan).
+func (l *LCP) hasWork() bool {
+	if len(l.rxq) > 0 {
+		return true
+	}
+	if j := l.curJob; j != nil {
+		if len(j.staged) > 0 || j.done() {
+			return true
+		}
+		if !j.dmaBusy && !j.tlbWait && j.nextOff < j.total {
+			return true
+		}
+		return false
+	}
+	for _, pid := range l.scan {
+		if l.states[pid].sq.pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// run is the LCP main loop.
+func (l *LCP) run(p *simProc) {
+	prof := l.node.Prof
+	for {
+		for !l.hasWork() {
+			l.work.Wait(p)
+		}
+		// In the tight sending loop (§5.3) the LCP bypasses the full main
+		// loop while a long send is in progress and no packets arrive.
+		tight := prof.TightSendLoop && l.curJob != nil && len(l.rxq) == 0
+		if tight {
+			l.stats.TightLoopIterations++
+			p.Sleep(prof.LCPDispatch / 4)
+		} else {
+			l.stats.MainLoopIterations++
+			p.Sleep(prof.LCPDispatch)
+		}
+
+		// Arriving packets take priority: the tight loop is abandoned on
+		// "unexpected, external events, such as the arrival of incoming
+		// data packets" (§5.3).
+		if len(l.rxq) > 0 {
+			if l.curJob != nil {
+				// Abandoning the tight sending loop: save the send state,
+				// run the main loop, come back (§5.3).
+				p.Sleep(prof.LCPLoopSwitch)
+			}
+			item := l.rxq[0]
+			l.rxq = l.rxq[1:]
+			l.handleRecv(p, item)
+			continue
+		}
+		if l.curJob != nil {
+			l.stepJob(p)
+			continue
+		}
+		if st, e, ok := l.scanQueues(p); ok {
+			l.startRequest(p, st, e)
+		}
+	}
+}
+
+// scanQueues polls the per-process send queues round-robin, charging the
+// per-queue poll cost — with many registered senders, picking up a request
+// gets slower (§6), unlike SHRIMP's hardware dispatch.
+func (l *LCP) scanQueues(p *simProc) (*lcpProcState, sqEntry, bool) {
+	nq := len(l.scan)
+	for i := 0; i < nq; i++ {
+		idx := (l.scanPtr + i) % nq
+		st := l.states[l.scan[idx]]
+		p.Sleep(l.node.Prof.LCPScanPerQueue)
+		l.stats.QueueScansTotalDistance++
+		if e, ok := st.sq.take(); ok {
+			l.scanPtr = (idx + 1) % nq
+			return st, e, true
+		}
+	}
+	return nil, sqEntry{}, false
+}
+
+// startRequest dispatches a freshly picked-up send request.
+func (l *LCP) startRequest(p *simProc, st *lcpProcState, e sqEntry) {
+	if e.inline != nil {
+		l.handleShort(p, st, e)
+		return
+	}
+	l.startLong(p, st, e)
+}
+
+// scatterFor computes the one- or two-piece destination scatter for a
+// chunk of n bytes at dest (§4.5: "two physical destination addresses ...
+// to perform two piece scatter when the destination memory spans a page
+// boundary").
+func scatterFor(outPT *OutgoingTable, dest ProxyAddr, n int) (addr1 mem.PhysAddr, len1 int, addr2 mem.PhysAddr) {
+	e1, _ := outPT.lookup(dest.Page())
+	addr1 = mem.PhysAddr(e1.destFrame)<<mem.PageShift | mem.PhysAddr(dest.Offset())
+	room := mem.PageSize - dest.Offset()
+	if n <= room {
+		return addr1, n, 0
+	}
+	e2, _ := outPT.lookup(dest.Page() + 1)
+	return addr1, room, mem.PhysAddr(e2.destFrame) << mem.PageShift
+}
+
+// writeCompletion reports a one-word completion status back to user space
+// with the LANai-to-host DMA engine, letting the library spin on a cache
+// location instead of reading across the bus (§4.5).
+func (l *LCP) writeCompletion(p *simProc, st *lcpProcState, seq uint32, code uint32) {
+	p.Sleep(l.node.Prof.LCPCompletion)
+	buf := l.node.Board.SRAM.Bytes(l.scratchOff, 8)
+	binary.BigEndian.PutUint32(buf[0:], seq)
+	binary.BigEndian.PutUint32(buf[4:], code)
+	if err := l.node.Board.SRAMToHost(p, l.scratchOff, st.statusPA, 8); err != nil {
+		panic(fmt.Sprintf("lcp%d: completion DMA failed: %v", l.node.ID, err))
+	}
+	if code != ceOK {
+		l.stats.CompletionsWithError++
+	}
+}
+
+// handleShort processes a short send: the data is already inline in the
+// queue entry in SRAM; the LCP copies it to the network buffer, builds the
+// header, reports completion (the send buffer — the queue entry — is
+// reusable immediately) and injects one packet.
+func (l *LCP) handleShort(p *simProc, st *lcpProcState, e sqEntry) {
+	l.stats.SendsShort++
+	p.Sleep(l.node.Prof.LCPShortSend)
+	destNode, err := st.outPT.checkTransfer(e.dest, e.length)
+	if err != nil {
+		l.completeError(p, st, e.seq, err)
+		return
+	}
+	route, ok := l.routes[destNode]
+	if !ok {
+		l.writeCompletion(p, st, e.seq, ceNoRoute)
+		return
+	}
+	addr1, len1, addr2 := scatterFor(st.outPT, e.dest, e.length)
+	hdr := msgHeader{
+		DataLen: uint32(e.length),
+		Addr1:   addr1,
+		Addr2:   addr2,
+		Len1:    uint32(len1),
+		Flags:   flagLastChunk,
+		SrcNode: uint8(l.node.ID),
+		SrcPid:  uint16(st.pid),
+		Seq:     e.seq,
+	}
+	if e.notify {
+		hdr.Flags |= flagNotify
+		l.stats.NotificationsRequested++
+	}
+	l.writeCompletion(p, st, e.seq, ceOK)
+	payload := append(hdr.encode(), e.inline...)
+	l.node.Board.SendPacket(p, route, payload)
+	l.stats.PacketsOut++
+	l.stats.BytesOut += int64(e.length)
+}
+
+func (l *LCP) completeError(p *simProc, st *lcpProcState, seq uint32, err error) {
+	code := uint32(ceBadSource)
+	switch err {
+	case ErrNotImported:
+		code = ceNotImported
+	case ErrOutOfRange:
+		code = ceOutOfRange
+	}
+	l.writeCompletion(p, st, seq, code)
+}

@@ -1,0 +1,209 @@
+package vmmc
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// sendJob is a long send in progress (§4.5). The message is sent in chunks
+// of up to a page; the first chunk only reaches the first source page
+// boundary so every later chunk is page-aligned on the send side. Chunk
+// staging uses the two SRAM staging buffers: while the network DMA injects
+// one chunk, the host DMA fills the other, and headers for the next chunk
+// are precomputed while the host DMA is still in flight — the pipelining
+// that yields 98% of the host-DMA bandwidth limit.
+type sendJob struct {
+	st       *lcpProcState
+	e        sqEntry
+	destNode int
+	route    []byte
+
+	total   int // message length
+	nextOff int // next byte to start a host DMA for
+	sentDMA int // bytes whose host DMA completed
+	injOff  int // bytes injected onto the wire
+
+	slot    int // staging buffer the next DMA fills
+	dmaBusy bool
+	tlbWait bool
+	staged  []stagedChunk // chunks ready to inject (<= 2)
+
+	completed bool // completion status written
+	hdrReady  bool // next header precomputed during host DMA
+	failed    bool
+}
+
+type stagedChunk struct {
+	off     int // offset within the message
+	n       int
+	sramOff int
+	last    bool
+}
+
+func (j *sendJob) done() bool {
+	return (j.failed || (j.sentDMA == j.total && j.injOff == j.total)) && len(j.staged) == 0 && !j.dmaBusy
+}
+
+// startLong validates a long-send request and turns it into the current
+// job. Only one long send is in flight per interface; further requests
+// wait in their send queues (the paper's design point: "only one request
+// can be posted for very long sends", §6).
+func (l *LCP) startLong(p *simProc, st *lcpProcState, e sqEntry) {
+	l.stats.SendsLong++
+	p.Sleep(l.node.Prof.LCPLongSendSetup)
+	destNode, err := st.outPT.checkTransfer(e.dest, e.length)
+	if err != nil {
+		l.completeError(p, st, e.seq, err)
+		return
+	}
+	route, ok := l.routes[destNode]
+	if !ok {
+		l.writeCompletion(p, st, e.seq, ceNoRoute)
+		return
+	}
+	l.curJob = &sendJob{
+		st:       st,
+		e:        e,
+		destNode: destNode,
+		route:    route,
+		total:    e.length,
+	}
+	l.stepJob(p)
+}
+
+// stepJob advances the current job without blocking on the host DMA: it
+// starts the next chunk's host DMA asynchronously, then injects any staged
+// chunk (wire time overlaps the DMA). When neither is possible the LCP
+// returns to its wait loop until the DMA completion rings the work flag.
+func (l *LCP) stepJob(p *simProc) {
+	j := l.curJob
+	prof := l.node.Prof
+
+	// Phase 1: keep the host DMA engine busy with the next chunk.
+	if !j.failed && !j.dmaBusy && !j.tlbWait && j.nextOff < j.total && len(j.staged) == 0 {
+		l.startChunkDMA(p, j)
+	}
+
+	// Phase 2: inject a staged chunk.
+	if len(j.staged) > 0 {
+		c := j.staged[0]
+		j.staged = j.staged[1:]
+
+		// Start the following chunk's host DMA before injecting, so the
+		// two overlap (§4.5). Without the pipelining knob this is skipped
+		// and the DMA starts only on the next step, serializing.
+		if prof.PipelineChunks && !j.failed && !j.dmaBusy && !j.tlbWait && j.nextOff < j.total {
+			l.startChunkDMA(p, j)
+		}
+
+		// Header preparation: precomputed during the previous host DMA
+		// when enabled, otherwise paid here, on the critical path.
+		if !prof.PrecomputeHeaders || !j.hdrReady {
+			p.Sleep(prof.LCPHeaderPrep)
+		}
+		j.hdrReady = prof.PrecomputeHeaders // next header overlaps the DMA now in flight
+
+		// The last chunk is safely stored in the LANai buffer once its
+		// host DMA finished — report completion before injecting (§4.5).
+		if c.last && !j.completed {
+			l.writeCompletion(p, j.st, j.e.seq, ceOK)
+			j.completed = true
+		}
+
+		addr1, len1, addr2 := scatterFor(j.st.outPT, j.e.dest+ProxyAddr(c.off), c.n)
+		hdr := msgHeader{
+			DataLen: uint32(c.n),
+			Addr1:   addr1,
+			Addr2:   addr2,
+			Len1:    uint32(len1),
+			SrcNode: uint8(l.node.ID),
+			SrcPid:  uint16(j.st.pid),
+			Seq:     j.e.seq,
+		}
+		if c.last {
+			hdr.Flags |= flagLastChunk
+			if j.e.notify {
+				hdr.Flags |= flagNotify
+				l.stats.NotificationsRequested++
+			}
+		}
+		payload := append(hdr.encode(), l.node.Board.SRAM.Bytes(c.sramOff, c.n)...)
+		l.node.Board.SendPacket(p, j.route, payload)
+		j.injOff += c.n
+		l.stats.PacketsOut++
+		l.stats.BytesOut += int64(c.n)
+	}
+
+	if j.done() {
+		l.curJob = nil
+	}
+}
+
+// chunkAt returns the chunk starting at message offset off: up to the next
+// source page boundary (§4.5).
+func (j *sendJob) chunkAt(off int) int {
+	src := j.e.srcVA + mem.VirtAddr(off)
+	n := mem.PageSize - src.Offset()
+	if n > j.total-off {
+		n = j.total - off
+	}
+	return n
+}
+
+// startChunkDMA looks the chunk's source page up in the process TLB —
+// raising a refill interrupt on a miss — and starts the host DMA into a
+// staging buffer. The transfer runs concurrently with the LCP; its
+// completion event stages the chunk and rings the work flag.
+func (l *LCP) startChunkDMA(p *simProc, j *sendJob) {
+	prof := l.node.Prof
+	off := j.nextOff
+	n := j.chunkAt(off)
+	src := j.e.srcVA + mem.VirtAddr(off)
+
+	p.Sleep(prof.LCPTLBProbe)
+	frame, hit := j.st.tlb.Lookup(uint64(src.Page()))
+	if !hit {
+		// Interrupt the host; the driver inserts up to 32 translations
+		// and locks the pages (§4.5). The job stalls; receives may be
+		// processed meanwhile.
+		l.stats.TLBMissStalls++
+		j.tlbWait = true
+		pid := j.st.pid
+		l.node.Board.RaiseInterrupt(tlbMissIRQ{
+			pid:   pid,
+			vpage: uint64(src.Page()),
+			done: func(err error) {
+				j.tlbWait = false
+				if err != nil {
+					j.failed = true
+					// Report the failure on the host path: the driver
+					// could not translate the send buffer.
+					l.node.Eng.Go(fmt.Sprintf("lcp:%d:fail", l.node.ID), func(fp *simProc) {
+						l.writeCompletion(fp, j.st, j.e.seq, ceBadSource)
+					})
+					j.completed = true
+				}
+				l.work.Signal()
+			},
+		})
+		return
+	}
+
+	srcPA := mem.PhysAddr(frame)<<mem.PageShift | mem.PhysAddr(src.Offset())
+	slot := l.stagingOff[j.slot]
+	j.slot ^= 1
+	j.nextOff += n
+	j.dmaBusy = true
+	last := j.nextOff == j.total
+	l.node.Eng.Go(fmt.Sprintf("lcp:%d:hostdma", l.node.ID), func(dp *simProc) {
+		if err := l.node.Board.HostToSRAM(dp, srcPA, slot, n); err != nil {
+			// The TLB pinned this page; a failure here is a model bug.
+			panic(fmt.Sprintf("lcp%d: chunk DMA failed: %v", l.node.ID, err))
+		}
+		j.dmaBusy = false
+		j.sentDMA += n
+		j.staged = append(j.staged, stagedChunk{off: off, n: n, sramOff: slot, last: last})
+		l.work.Signal()
+	})
+}

@@ -1,0 +1,129 @@
+package vmmc
+
+import (
+	"repro/internal/mem"
+)
+
+// handleRecv processes one arrived packet: drain it into SRAM staging,
+// verify the CRC (errors are detected and counted, never recovered —
+// §4.2), validate every scatter piece against the incoming page table, and
+// DMA the data directly into the pinned receive buffer without involving
+// the receiving host CPU (§2: "there is no explicit receive operation in
+// VMMC"). The last chunk of a notifying message raises a host interrupt
+// for signal delivery.
+// The packet has already been drained into SRAM by the receive engine and
+// filtered through the optional link layer.
+func (l *LCP) handleRecv(p *simProc, item rxItem) {
+	board := l.node.Board
+	pk := item.pk
+	p.Sleep(l.node.Prof.LCPRecvPacket)
+	l.stats.PacketsIn++
+
+	if !pk.CheckCRC() {
+		l.stats.CRCErrors++
+		return
+	}
+	if len(item.data) < hdrSize {
+		l.stats.ProtectionViolations++
+		return
+	}
+	hdr, err := decodeHeader(item.data)
+	if err != nil {
+		l.stats.ProtectionViolations++
+		return
+	}
+	data := item.data[hdrSize:]
+	if int(hdr.DataLen) != len(data) || hdr.DataLen == 0 {
+		l.stats.ProtectionViolations++
+		return
+	}
+
+	len1 := int(hdr.Len1)
+	len2 := 0
+	if hdr.Addr2 != 0 {
+		// Scatter lengths are computed from the total length and the
+		// addresses (§4.5).
+		len2 = int(hdr.DataLen) - len1
+	} else {
+		len1 = int(hdr.DataLen)
+	}
+	if len1 <= 0 || len1 > len(data) || len2 < 0 {
+		l.stats.ProtectionViolations++
+		return
+	}
+
+	// Protection: every touched frame must be writable by incoming
+	// messages and the range must stay inside the exported extent.
+	if err := l.incoming.check(hdr.Addr1, len1); err != nil {
+		l.stats.ProtectionViolations++
+		l.node.Eng.Tracef("lcp%d: dropped packet: %v", l.node.ID, err)
+		return
+	}
+	if len2 > 0 {
+		if err := l.incoming.check(hdr.Addr2, len2); err != nil {
+			l.stats.ProtectionViolations++
+			l.node.Eng.Tracef("lcp%d: dropped packet: %v", l.node.ID, err)
+			return
+		}
+	}
+
+	// Resolve transfer redirection (redirect.go): pieces aimed at a
+	// default buffer with an active redirect deposit into the posted
+	// user buffer instead, copy-free.
+	dst1, dst2 := hdr.Addr1, hdr.Addr2
+	if entry, ok := l.incoming.lookup(hdr.Addr1); ok {
+		if rd, active := l.redirects[entry.tag]; active {
+			if pa, ok := l.redirectPiece(entry, rd, hdr.Addr1, len1); ok {
+				dst1 = pa
+				rd.redirected += int64(len1)
+			}
+			if len2 > 0 {
+				if e2, ok := l.incoming.lookup(hdr.Addr2); ok {
+					if pa, ok := l.redirectPiece(e2, rd, hdr.Addr2, len2); ok {
+						dst2 = pa
+						rd.redirected += int64(len2)
+					}
+				}
+			}
+		}
+		// Track the arrival high-water mark within the export, for the
+		// early-arrival copy of a late redirect posting.
+		endOff := int(entry.frameVA) + hdr.Addr1.Offset() - int(entry.baseVA) + int(hdr.DataLen)
+		if endOff > l.arrivedHW[entry.tag] {
+			l.arrivedHW[entry.tag] = endOff
+		}
+	}
+
+	// Deposit piece one, then piece two, with the host DMA engine.
+	staging := board.SRAM.Bytes(l.recvOff, len(data))
+	copy(staging, data)
+	if err := board.SRAMToHost(p, l.recvOff, dst1, len1); err != nil {
+		panic(err) // frames were pinned at export or redirect post
+	}
+	if len2 > 0 {
+		if err := board.SRAMToHost(p, l.recvOff+len1, dst2, len2); err != nil {
+			panic(err)
+		}
+	}
+	l.stats.BytesIn += int64(hdr.DataLen)
+	l.node.MemActivity.Broadcast()
+
+	if hdr.Flags&flagNotify != 0 && hdr.Flags&flagLastChunk != 0 {
+		entry, ok := l.incoming.lookup(hdr.Addr1)
+		if ok && entry.notifyOK {
+			offset := int(entry.frameVA) + hdr.Addr1.Offset() - int(entry.baseVA)
+			board.RaiseInterrupt(notifyIRQ{
+				pid:    entry.owner,
+				tag:    entry.tag,
+				offset: offset,
+				length: int(hdr.DataLen),
+			})
+		}
+	}
+}
+
+// incomingFrameOwner exposes incoming-table ownership for tests.
+func (l *LCP) incomingFrameOwner(pa mem.PhysAddr) (int, bool) {
+	e, ok := l.incoming.lookup(pa)
+	return e.owner, ok
+}

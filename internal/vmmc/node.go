@@ -1,0 +1,157 @@
+package vmmc
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/ether"
+	"repro/internal/hostcpu"
+	"repro/internal/hw"
+	"repro/internal/lanai"
+	"repro/internal/mem"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// simProc shortens signatures throughout the package.
+type simProc = sim.Proc
+
+// Node is one PC of the cluster: host memory, PCI bus, CPU cost model, the
+// Myrinet board, and the trusted VMMC software (LCP, driver, daemon).
+type Node struct {
+	ID   int
+	Eng  *sim.Engine
+	Prof hw.Profile
+
+	Phys  *mem.Physical
+	PCI   *bus.Bus
+	CPU   *hostcpu.CPU
+	Board *lanai.Board
+
+	LCP    *LCP
+	Driver *Driver
+	Daemon *Daemon
+
+	procs   map[int]*Process
+	nextPid int
+
+	// MemActivity is broadcast whenever the interface deposits data into
+	// host memory. Pollers (e.g. the vRPC server) park on it instead of
+	// generating an endless stream of poll events while idle; the poll
+	// granularity is still charged on wakeup.
+	MemActivity *sim.Cond
+}
+
+// newNode assembles a node around an attached NIC. The software components
+// start later, during cluster boot.
+func newNode(eng *sim.Engine, prof hw.Profile, id int, nic *myrinet.NIC, memBytes int, eth *ether.Bus) *Node {
+	phys := mem.NewPhysical(memBytes)
+	pci := bus.New(eng, fmt.Sprintf("pci:%d", id))
+	n := &Node{
+		ID:          id,
+		Eng:         eng,
+		Prof:        prof,
+		Phys:        phys,
+		PCI:         pci,
+		CPU:         hostcpu.New(eng, prof, pci),
+		Board:       lanai.NewBoard(eng, prof, nic, phys, pci),
+		procs:       make(map[int]*Process),
+		MemActivity: sim.NewCond(eng),
+	}
+	n.Driver = newDriver(n)
+	n.Daemon = newDaemon(n, eth)
+	n.Board.SetInterruptHandler(n.Driver.handleInterrupt)
+	return n
+}
+
+// start boots the node's LCP with the routes discovered by network mapping.
+func (n *Node) start(routes myrinet.RouteTable) error {
+	lcp, err := newLCP(n, routes)
+	if err != nil {
+		return err
+	}
+	n.LCP = lcp
+	n.Daemon.start()
+	return nil
+}
+
+// NewProcess creates a user process on the node and registers it with the
+// LCP: a send queue, an outgoing page table and a software TLB are carved
+// out of board SRAM, and a pinned status page is set up for completion
+// reporting. It fails with ErrProcessLimit when the SRAM budget is
+// exhausted — the paper's limit on simultaneous VMMC users per interface.
+func (n *Node) NewProcess(p *sim.Proc) (*Process, error) {
+	pid := n.nextPid
+	n.nextPid++
+	as := mem.NewAddressSpace(n.Phys)
+
+	st, err := n.LCP.registerProcess(pid)
+	if err != nil {
+		return nil, err
+	}
+
+	statusVA, err := as.Alloc(mem.PageSize)
+	if err != nil {
+		n.LCP.unregisterProcess(pid)
+		return nil, err
+	}
+	if err := as.Pin(statusVA, mem.PageSize); err != nil {
+		n.LCP.unregisterProcess(pid)
+		return nil, err
+	}
+	statusPA, err := as.Translate(statusVA)
+	if err != nil {
+		n.LCP.unregisterProcess(pid)
+		return nil, err
+	}
+	st.statusPA = statusPA
+
+	proc := &Process{
+		Pid:      pid,
+		Node:     n,
+		AS:       as,
+		lcpState: st,
+		statusVA: statusVA,
+		imports:  make(map[int]importRec),
+		exports:  make(map[uint32]*exportRec),
+		handlers: make(map[uint32]NotifyHandler),
+		nextSeq:  1,
+	}
+	n.procs[pid] = proc
+
+	// Registering with the interface costs a handful of MMIO writes plus
+	// a daemon round trip charged as local IPC.
+	n.CPU.MMIOWriteWords(p, 8)
+	p.Sleep(n.Prof.InterruptCost) // driver ioctl to set up the status page
+	return proc, nil
+}
+
+// Close tears a process down: the LCP slots are freed, TLB-locked pages
+// and the status page unpinned, and exports/imports released.
+func (proc *Process) Close(p *sim.Proc) error {
+	n := proc.Node
+	for tag := range proc.exports {
+		if err := proc.Unexport(p, tag); err != nil {
+			return err
+		}
+	}
+	for base := range proc.imports {
+		if err := proc.unimportBase(p, base); err != nil {
+			return err
+		}
+	}
+	frames := proc.lcpState.tlb.InvalidateAll()
+	for _, f := range frames {
+		n.Phys.Unpin(f)
+	}
+	proc.AS.Unpin(proc.statusVA, mem.PageSize)
+	n.LCP.unregisterProcess(proc.Pid)
+	delete(n.procs, proc.Pid)
+	return nil
+}
+
+// Process returns the node's process with the given pid.
+func (n *Node) Process(pid int) (*Process, bool) {
+	pr, ok := n.procs[pid]
+	return pr, ok
+}

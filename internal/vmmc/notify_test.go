@@ -1,0 +1,191 @@
+package vmmc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestNotificationInvokesHandler(t *testing.T) {
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		recv, _ := c.Nodes[1].NewProcess(p)
+		send, _ := c.Nodes[0].NewProcess(p)
+
+		buf, _ := recv.Malloc(mem.PageSize)
+		if err := recv.Export(p, 9, buf, mem.PageSize, nil, true); err != nil {
+			t.Fatal(err)
+		}
+		var gotTag uint32
+		var gotOffset, gotLen int
+		var fired int
+		var firedAt sim.Time
+		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) {
+			fired++
+			gotTag, gotOffset, gotLen = tag, offset, length
+			firedAt = hp.Now()
+		})
+
+		dest, _, err := send.Import(p, 1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, _ := send.Malloc(mem.PageSize)
+		if err := send.Write(src, []byte("notify me")); err != nil {
+			t.Fatal(err)
+		}
+		sent := p.Now()
+		if err := send.SendMsgSync(p, src, dest+100, 9, SendOptions{Notify: true}); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Millisecond)
+
+		if fired != 1 {
+			t.Fatalf("handler fired %d times, want 1", fired)
+		}
+		if gotTag != 9 || gotOffset != 100 || gotLen != 9 {
+			t.Errorf("handler got tag=%d offset=%d len=%d, want 9/100/9", gotTag, gotOffset, gotLen)
+		}
+		// The data must already be in memory when the handler runs
+		// (notification fires after delivery, §2).
+		data, _ := recv.Read(buf+100, 9)
+		if string(data) != "notify me" {
+			t.Errorf("buffer = %q at notification time", data)
+		}
+		// Signal delivery costs interrupt + signal time.
+		if firedAt < sent {
+			t.Error("handler fired before send")
+		}
+	})
+}
+
+func TestNoNotificationWithoutFlag(t *testing.T) {
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		recv, _ := c.Nodes[1].NewProcess(p)
+		send, _ := c.Nodes[0].NewProcess(p)
+		buf, _ := recv.Malloc(mem.PageSize)
+		if err := recv.Export(p, 9, buf, mem.PageSize, nil, true); err != nil {
+			t.Fatal(err)
+		}
+		fired := 0
+		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) { fired++ })
+		dest, _, _ := send.Import(p, 1, 9)
+		src, _ := send.Malloc(mem.PageSize)
+		if err := send.SendMsgSync(p, src, dest, 64, SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Millisecond)
+		if fired != 0 {
+			t.Errorf("handler fired %d times without Notify flag", fired)
+		}
+	})
+}
+
+func TestNotificationSuppressedWhenExportForbidsIt(t *testing.T) {
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		recv, _ := c.Nodes[1].NewProcess(p)
+		send, _ := c.Nodes[0].NewProcess(p)
+		buf, _ := recv.Malloc(mem.PageSize)
+		// notifyOK = false: senders may not raise notifications here.
+		if err := recv.Export(p, 9, buf, mem.PageSize, nil, false); err != nil {
+			t.Fatal(err)
+		}
+		fired := 0
+		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) { fired++ })
+		dest, _, _ := send.Import(p, 1, 9)
+		src, _ := send.Malloc(mem.PageSize)
+		if err := send.SendMsgSync(p, src, dest, 64, SendOptions{Notify: true}); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Millisecond)
+		if fired != 0 {
+			t.Errorf("handler fired %d times though export forbids notification", fired)
+		}
+	})
+}
+
+func TestNotificationOnLongSendFiresOnceAfterLastChunk(t *testing.T) {
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		recv, _ := c.Nodes[1].NewProcess(p)
+		send, _ := c.Nodes[0].NewProcess(p)
+		const size = 4 * mem.PageSize
+		buf, _ := recv.Malloc(size)
+		if err := recv.Export(p, 9, buf, size, nil, true); err != nil {
+			t.Fatal(err)
+		}
+		fired := 0
+		complete := false
+		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) {
+			fired++
+			// All bytes of the message must be visible.
+			last, _ := recv.Read(buf+size-1, 1)
+			complete = last[0] == 0x5A
+		})
+		dest, _, _ := send.Import(p, 1, 9)
+		src, _ := send.Malloc(size)
+		if err := send.Write(src+size-1, []byte{0x5A}); err != nil {
+			t.Fatal(err)
+		}
+		if err := send.SendMsgSync(p, src, dest, size, SendOptions{Notify: true}); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Millisecond)
+		if fired != 1 {
+			t.Fatalf("handler fired %d times for a chunked message, want 1", fired)
+		}
+		if !complete {
+			t.Error("notification fired before the whole message was delivered")
+		}
+	})
+}
+
+func TestHandlerCanSendReply(t *testing.T) {
+	// A user-level handler doing VMMC calls: classic transfer of control.
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		server, _ := c.Nodes[1].NewProcess(p)
+		client, _ := c.Nodes[0].NewProcess(p)
+
+		reqBuf, _ := server.Malloc(mem.PageSize)
+		repBuf, _ := client.Malloc(mem.PageSize)
+		if err := server.Export(p, 1, reqBuf, mem.PageSize, nil, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Export(p, 2, repBuf, mem.PageSize, nil, false); err != nil {
+			t.Fatal(err)
+		}
+		toServer, _, err := client.Import(p, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toClient, _, err := server.Import(p, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		srvSrc, _ := server.Malloc(mem.PageSize)
+		server.RegisterHandler(1, func(hp *simProc, tag uint32, offset, length int) {
+			req, _ := server.Read(reqBuf+mem.VirtAddr(offset), length)
+			reply := append([]byte("re:"), req...)
+			if err := server.Write(srvSrc, reply); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := server.SendMsgSync(hp, srvSrc, toClient, len(reply), SendOptions{}); err != nil {
+				t.Error(err)
+			}
+		})
+
+		cliSrc, _ := client.Malloc(mem.PageSize)
+		if err := client.Write(cliSrc, []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.SendMsgSync(p, cliSrc, toServer, 4, SendOptions{Notify: true}); err != nil {
+			t.Fatal(err)
+		}
+		client.SpinByte(p, repBuf, 'r')
+		got, _ := client.Read(repBuf, 7)
+		if string(got) != "re:ping" {
+			t.Errorf("reply = %q", got)
+		}
+	})
+}

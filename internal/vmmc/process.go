@@ -1,0 +1,292 @@
+package vmmc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Process is a user process linked against the VMMC basic library (§4.1).
+// All communication methods take the calling simulation process so their
+// costs — memory-mapped I/O to the board, spinning on completion words,
+// daemon IPC — are charged to the caller.
+type Process struct {
+	Pid  int
+	Node *Node
+	AS   *mem.AddressSpace
+
+	lcpState *lcpProcState
+	statusVA mem.VirtAddr
+
+	imports  map[int]importRec // key: base proxy page
+	exports  map[uint32]*exportRec
+	handlers map[uint32]NotifyHandler
+	nextSeq  uint32
+}
+
+type importRec struct {
+	exporterNode int
+	tag          uint32
+	basePage     int
+	pages        int
+	length       int
+}
+
+type exportRec struct {
+	tag    uint32
+	va     mem.VirtAddr
+	length int
+}
+
+// NotifyHandler is a user-level notification handler (§2): invoked after a
+// notifying message has been delivered into the receive buffer.
+type NotifyHandler func(p *simProc, tag uint32, offset, length int)
+
+// ID returns the process's cluster-wide identity.
+func (proc *Process) ID() ProcID { return ProcID{Node: proc.Node.ID, Pid: proc.Pid} }
+
+// Malloc allocates n bytes of fresh page-aligned virtual memory.
+func (proc *Process) Malloc(n int) (mem.VirtAddr, error) {
+	return proc.AS.Alloc(n)
+}
+
+// Write stores data into the process's virtual memory (ordinary user-space
+// stores; no modeled cost — copies that matter on the data path are
+// charged explicitly via the CPU model).
+func (proc *Process) Write(va mem.VirtAddr, data []byte) error {
+	return proc.AS.WriteBytes(va, data)
+}
+
+// Read loads n bytes from the process's virtual memory.
+func (proc *Process) Read(va mem.VirtAddr, n int) ([]byte, error) {
+	return proc.AS.ReadBytes(va, n)
+}
+
+// Export makes [va, va+n) available as a receive buffer under tag (§2).
+// The buffer must be page aligned. allowed restricts the importers; nil
+// allows any. notifyOK permits senders to attach notifications.
+func (proc *Process) Export(p *simProc, tag uint32, va mem.VirtAddr, n int, allowed []ProcID, notifyOK bool) error {
+	info, err := proc.Node.Daemon.exportLocal(p, proc, tag, va, n, allowed, notifyOK)
+	if err != nil {
+		return err
+	}
+	proc.exports[tag] = &exportRec{tag: info.tag, va: va, length: n}
+	return nil
+}
+
+// Unexport withdraws an export. It fails while remote imports are active.
+func (proc *Process) Unexport(p *simProc, tag uint32) error {
+	if _, ok := proc.exports[tag]; !ok {
+		return ErrNotExported
+	}
+	if err := proc.Node.Daemon.unexportLocal(p, proc, tag); err != nil {
+		return err
+	}
+	delete(proc.exports, tag)
+	return nil
+}
+
+// Import maps the remote receive buffer (exporterNode, tag) into this
+// process's destination proxy space, returning the proxy address and the
+// buffer length (§2).
+func (proc *Process) Import(p *simProc, exporterNode int, tag uint32) (ProxyAddr, int, error) {
+	return proc.Node.Daemon.importRemote(p, proc, exporterNode, tag)
+}
+
+// Unimport releases an import by its proxy base address.
+func (proc *Process) Unimport(p *simProc, base ProxyAddr) error {
+	return proc.unimportBase(p, base.Page())
+}
+
+func (proc *Process) unimportBase(p *simProc, basePage int) error {
+	rec, ok := proc.imports[basePage]
+	if !ok {
+		return ErrNotImported
+	}
+	return proc.Node.Daemon.unimportLocal(p, proc, rec)
+}
+
+// RegisterHandler installs the notification handler for messages arriving
+// in the export tagged tag.
+func (proc *Process) RegisterHandler(tag uint32, h NotifyHandler) {
+	proc.handlers[tag] = h
+}
+
+// RegisterBuffer proactively installs translations for [va, va+n) in the
+// interface's software TLB and locks the pages — the user-managed-TLB
+// discipline this research line later formalized in VMMC-2's UTLB. A
+// registered send buffer never takes a TLB-miss interrupt on its first
+// send; the cost is paid up front, at registration.
+func (proc *Process) RegisterBuffer(p *simProc, va mem.VirtAddr, n int) error {
+	if n <= 0 || !proc.AS.Mapped(va, n) {
+		return ErrBadBuffer
+	}
+	node := proc.Node
+	// One driver call (ioctl-like) covering the whole range.
+	p.Sleep(node.Prof.InterruptCost)
+	span := mem.PageSpan(va, n)
+	st := proc.lcpState
+	for i := 0; i < span; i++ {
+		pageVA := va + mem.VirtAddr(i*mem.PageSize)
+		pa, err := proc.AS.Translate(pageVA)
+		if err != nil {
+			return err
+		}
+		p.Sleep(node.Prof.TranslationCost)
+		if _, hit := st.tlb.Lookup(uint64(pageVA.Page())); hit {
+			continue
+		}
+		node.Phys.Pin(pa.Frame())
+		if _, oldFrame, evicted := st.tlb.Insert(uint64(pageVA.Page()), pa.Frame()); evicted {
+			node.Phys.Unpin(oldFrame)
+		}
+	}
+	return nil
+}
+
+// SendOptions modify a send request.
+type SendOptions struct {
+	// Notify attaches a notification: the receiver's handler runs after
+	// the message is delivered (§2).
+	Notify bool
+}
+
+// SendMsg posts a deliberate-update transfer of n bytes from local virtual
+// address src to the imported destination dest (§2: SendMsg(srcAddr,
+// destAddr, nbytes)). It returns immediately after posting — asynchronous
+// send. Use WaitSend (or SendMsgSync) before reusing the send buffer.
+//
+// The short/long protocol split at 128 bytes is transparent: short sends
+// copy the data into the SRAM send queue with programmed I/O; long sends
+// post only the buffer's virtual address (§4.5).
+func (proc *Process) SendMsg(p *simProc, src mem.VirtAddr, dest ProxyAddr, n int, opts SendOptions) (uint32, error) {
+	if n <= 0 {
+		return 0, ErrBadBuffer
+	}
+	if n > proc.Node.Prof.MaxTransfer {
+		return 0, ErrTooLong
+	}
+	if !proc.AS.Mapped(src, n) {
+		return 0, ErrBadBuffer
+	}
+
+	// Library bookkeeping before the board is touched.
+	proc.Node.CPU.Compute(p, proc.Node.Prof.LibSendCost)
+	seq := proc.nextSeq
+	proc.nextSeq++
+	e := sqEntry{length: n, dest: dest, seq: seq, notify: opts.Notify}
+	if n <= proc.Node.Prof.ShortSendMax {
+		data, err := proc.AS.ReadBytes(src, n)
+		if err != nil {
+			return 0, err
+		}
+		e.inline = data
+	} else {
+		e.srcVA = src
+	}
+
+	// The send queue is preallocated in SRAM; if it is full the library
+	// spins until the LCP drains an entry.
+	sq := proc.lcpState.sq
+	proc.Node.CPU.SpinWait(p, func() bool { return !sq.full() })
+	proc.Node.CPU.MMIOWriteWords(p, postWords(e))
+	sq.post(e)
+	proc.Node.LCP.doorbell()
+	return seq, nil
+}
+
+// status reads the process's completion words (written by the LANai with
+// host DMA into the pinned status page; the library spins on the cached
+// copy, §4.5).
+func (proc *Process) status() (seq, code uint32) {
+	b, err := proc.AS.ReadBytes(proc.statusVA, 8)
+	if err != nil {
+		panic(fmt.Sprintf("vmmc: status page unreadable: %v", err))
+	}
+	return binary.BigEndian.Uint32(b[0:]), binary.BigEndian.Uint32(b[4:])
+}
+
+// SendDone reports whether the send with the given sequence number has
+// completed, without blocking — the asynchronous-send check (§5.3).
+func (proc *Process) SendDone(seq uint32) (bool, error) {
+	done, code := proc.status()
+	if done < seq {
+		return false, nil
+	}
+	if done == seq && code != ceOK {
+		return true, completionError(code)
+	}
+	return true, nil
+}
+
+// WaitSend spins until the send with the given sequence number completes:
+// the send buffer may be reused afterwards.
+func (proc *Process) WaitSend(p *simProc, seq uint32) error {
+	var result error
+	proc.Node.CPU.SpinWait(p, func() bool {
+		done, err := proc.SendDone(seq)
+		if done {
+			result = err
+		}
+		return done
+	})
+	return result
+}
+
+// SendMsgSync is the synchronous send: it returns once the data has been
+// transferred to the network interface and the send buffer is reusable
+// (§5.3). For short sends the data is copied into the SRAM send queue at
+// posting time, so the call returns immediately — synchronous and
+// asynchronous overheads are equal below the threshold, as the paper
+// observes. Protocol errors on a short send are reported asynchronously;
+// use SendMsgChecked to surface them.
+func (proc *Process) SendMsgSync(p *simProc, src mem.VirtAddr, dest ProxyAddr, n int, opts SendOptions) error {
+	seq, err := proc.SendMsg(p, src, dest, n, opts)
+	if err != nil {
+		return err
+	}
+	if n <= proc.Node.Prof.ShortSendMax {
+		return nil
+	}
+	return proc.WaitSend(p, seq)
+}
+
+// SendMsgChecked posts a send and waits for its completion status even
+// when the buffer-reuse contract would not require it, surfacing
+// protocol errors (unimported destination, overrun) synchronously.
+func (proc *Process) SendMsgChecked(p *simProc, src mem.VirtAddr, dest ProxyAddr, n int, opts SendOptions) error {
+	seq, err := proc.SendMsg(p, src, dest, n, opts)
+	if err != nil {
+		return err
+	}
+	return proc.WaitSend(p, seq)
+}
+
+// SpinUntil spins the process until pred observes the awaited state in
+// its memory — the VMMC idiom for message reception (data appears in the
+// exported buffer without any receive call).
+func (proc *Process) SpinUntil(p *simProc, pred func() bool) {
+	proc.Node.CPU.SpinWait(p, pred)
+}
+
+// PollUntil behaves like a polling loop over memory the interface writes
+// into — it returns once pred observes the awaited state — but parks the
+// process between deposits instead of burning poll iterations, charging
+// one poll interval of discovery latency per wakeup. Use it for
+// long-running servers; SpinUntil is fine for bounded waits.
+func (proc *Process) PollUntil(p *simProc, pred func() bool) {
+	for !pred() {
+		proc.Node.MemActivity.Wait(p)
+		p.Sleep(proc.Node.Prof.SpinCheckInterval)
+	}
+}
+
+// SpinByte spins until the byte at va equals want, then returns. This is
+// the canonical "poll the flag at the end of the buffer" receive.
+func (proc *Process) SpinByte(p *simProc, va mem.VirtAddr, want byte) {
+	proc.SpinUntil(p, func() bool {
+		b, err := proc.AS.ReadBytes(va, 1)
+		return err == nil && b[0] == want
+	})
+}

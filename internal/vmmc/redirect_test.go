@@ -1,0 +1,247 @@
+package vmmc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Transfer redirection (redirect.go): the VMMC-2 future-work feature.
+
+func redirectSetup(t *testing.T, fn func(p *simProc, c *Cluster, recv, send *Process, buf mem.VirtAddr, dest ProxyAddr)) {
+	t.Helper()
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		recv, _ := c.Nodes[1].NewProcess(p)
+		send, _ := c.Nodes[0].NewProcess(p)
+		const size = 8 * mem.PageSize
+		buf, _ := recv.Malloc(size)
+		if err := recv.Export(p, 1, buf, size, nil, false); err != nil {
+			t.Fatal(err)
+		}
+		dest, _, err := send.Import(p, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(p, c, recv, send, buf, dest)
+	})
+}
+
+func TestRedirectBeforeArrival(t *testing.T) {
+	// Redirect posted before any data: everything lands in the user
+	// buffer directly, the default buffer stays untouched, zero copies.
+	redirectSetup(t, func(p *simProc, c *Cluster, recv, send *Process, buf mem.VirtAddr, dest ProxyAddr) {
+		const size = 8 * mem.PageSize
+		user, _ := recv.Malloc(size)
+		early, err := recv.PostRedirect(p, 1, user, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if early != 0 {
+			t.Errorf("early bytes = %d, want 0", early)
+		}
+
+		src, _ := send.Malloc(size)
+		msg := bytes.Repeat([]byte{0x3D}, 3*mem.PageSize+99)
+		if err := send.Write(src, msg); err != nil {
+			t.Fatal(err)
+		}
+		if err := send.SendMsgSync(p, src, dest, len(msg), SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		recv.SpinByte(p, user+mem.VirtAddr(len(msg)-1), 0x3D)
+		got, _ := recv.Read(user, len(msg))
+		if !bytes.Equal(got, msg) {
+			t.Error("redirected data corrupted")
+		}
+		def, _ := recv.Read(buf, len(msg))
+		for _, b := range def {
+			if b != 0 {
+				t.Error("default buffer written despite redirect")
+				break
+			}
+		}
+		direct, err := recv.CompleteRedirect(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != int64(len(msg)) {
+			t.Errorf("direct bytes = %d, want %d", direct, len(msg))
+		}
+	})
+}
+
+func TestRedirectAfterPartialArrival(t *testing.T) {
+	// The library-receive pattern redirection exists for: the first
+	// message arrives into the default buffer before the user posts the
+	// real target; the posting copies the early prefix once; later data
+	// lands directly.
+	redirectSetup(t, func(p *simProc, c *Cluster, recv, send *Process, buf mem.VirtAddr, dest ProxyAddr) {
+		const size = 8 * mem.PageSize
+		src, _ := send.Malloc(size)
+		first := bytes.Repeat([]byte{0xA1}, mem.PageSize+10)
+		if err := send.Write(src, first); err != nil {
+			t.Fatal(err)
+		}
+		if err := send.SendMsgSync(p, src, dest, len(first), SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		recv.SpinByte(p, buf+mem.VirtAddr(len(first)-1), 0xA1)
+
+		user, _ := recv.Malloc(size)
+		early, err := recv.PostRedirect(p, 1, user, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if early != len(first) {
+			t.Errorf("early copy = %d bytes, want %d", early, len(first))
+		}
+		// The prefix is already in the user buffer.
+		got, _ := recv.Read(user, len(first))
+		if !bytes.Equal(got, first) {
+			t.Error("early prefix not copied to user buffer")
+		}
+
+		// The rest of the stream lands directly after the first chunk.
+		second := bytes.Repeat([]byte{0xB2}, 2*mem.PageSize)
+		if err := send.Write(src, second); err != nil {
+			t.Fatal(err)
+		}
+		off := ProxyAddr(len(first))
+		if err := send.SendMsgSync(p, src, dest+off, len(second), SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		recv.SpinByte(p, user+mem.VirtAddr(len(first)+len(second)-1), 0xB2)
+		direct, err := recv.CompleteRedirect(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != int64(len(second)) {
+			t.Errorf("direct bytes = %d, want %d", direct, len(second))
+		}
+		all, _ := recv.Read(user, len(first)+len(second))
+		if !bytes.Equal(all[:len(first)], first) || !bytes.Equal(all[len(first):], second) {
+			t.Error("assembled message corrupted")
+		}
+	})
+}
+
+func TestRedirectValidation(t *testing.T) {
+	redirectSetup(t, func(p *simProc, c *Cluster, recv, send *Process, buf mem.VirtAddr, dest ProxyAddr) {
+		const size = 8 * mem.PageSize
+		user, _ := recv.Malloc(size)
+		if _, err := recv.PostRedirect(p, 99, user, size); err != ErrNotExported {
+			t.Errorf("redirect of unknown tag = %v", err)
+		}
+		if _, err := recv.PostRedirect(p, 1, user+1, size); err != ErrNotAligned {
+			t.Errorf("unaligned redirect = %v", err)
+		}
+		if _, err := recv.PostRedirect(p, 1, user, 2*size); err != ErrBadBuffer {
+			t.Errorf("oversized redirect = %v", err)
+		}
+		if _, err := recv.PostRedirect(p, 1, user, size); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := recv.PostRedirect(p, 1, user, size); err == nil {
+			t.Error("double redirect accepted")
+		}
+		// Unexport is blocked while a redirect is posted.
+		if err := recv.Unexport(p, 1); err != ErrStillImported {
+			t.Errorf("unexport with active redirect = %v", err)
+		}
+		if _, err := recv.CompleteRedirect(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := recv.CompleteRedirect(p, 1); err == nil {
+			t.Error("double complete accepted")
+		}
+		// Foreign completion rejected.
+		other, _ := c.Nodes[1].NewProcess(p)
+		if _, err := recv.PostRedirect(p, 1, user, size); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := other.CompleteRedirect(p, 1); err == nil {
+			t.Error("foreign CompleteRedirect accepted")
+		}
+	})
+}
+
+func TestRedirectPinsAndUnpinsUserBuffer(t *testing.T) {
+	redirectSetup(t, func(p *simProc, c *Cluster, recv, send *Process, buf mem.VirtAddr, dest ProxyAddr) {
+		user, _ := recv.Malloc(mem.PageSize)
+		pa, _ := recv.AS.Translate(user)
+		if _, err := recv.PostRedirect(p, 1, user, mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if !recv.Node.Phys.Pinned(pa.Frame()) {
+			t.Error("redirect target not pinned")
+		}
+		if _, err := recv.CompleteRedirect(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		if recv.Node.Phys.Pinned(pa.Frame()) {
+			t.Error("redirect target still pinned after completion")
+		}
+	})
+}
+
+func TestRedirectSavesTheCopy(t *testing.T) {
+	// The point of the feature: receiving a large message through a
+	// redirect costs the receiver less CPU time than receiving into the
+	// default buffer and copying out.
+	const size = 64 * mem.PageSize
+	viaCopy := func() sim.Time {
+		var d sim.Time
+		redirectSetup(t, func(p *simProc, c *Cluster, recv, send *Process, buf mem.VirtAddr, dest ProxyAddr) {
+			_ = c
+			src, _ := send.Malloc(size)
+			// Default buffer is 8 pages; send 8 pages' worth.
+			n := 8 * mem.PageSize
+			if err := send.SendMsgSync(p, src, dest, n, SendOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			recv.SpinUntil(p, func() bool {
+				got, err := recv.Read(buf+mem.VirtAddr(n-1), 1)
+				return err == nil && got[0] == 0
+			})
+			p.Sleep(sim.Millisecond) // ensure delivered
+			user, _ := recv.Malloc(n)
+			start := p.Now()
+			data, _ := recv.Read(buf, n)
+			recv.Node.CPU.Bcopy(p, n)
+			if err := recv.Write(user, data); err != nil {
+				t.Fatal(err)
+			}
+			d = p.Now() - start
+		})
+		return d
+	}
+	viaRedirect := func() sim.Time {
+		var d sim.Time
+		redirectSetup(t, func(p *simProc, c *Cluster, recv, send *Process, buf mem.VirtAddr, dest ProxyAddr) {
+			_ = c
+			n := 8 * mem.PageSize
+			user, _ := recv.Malloc(n)
+			start := p.Now()
+			if _, err := recv.PostRedirect(p, 1, user, n); err != nil {
+				t.Fatal(err)
+			}
+			d = p.Now() - start // posting cost; arrival is copy-free
+			src, _ := send.Malloc(size)
+			if err := send.SendMsgSync(p, src, dest, n, SendOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := recv.CompleteRedirect(p, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return d
+	}
+	copyCost := viaCopy()
+	postCost := viaRedirect()
+	t.Logf("receive via copy: %v of receiver CPU; via redirect: %v posting cost", copyCost, postCost)
+	if postCost >= copyCost {
+		t.Errorf("redirect posting (%v) should be cheaper than copying 32KB (%v)", postCost, copyCost)
+	}
+}

@@ -1,0 +1,85 @@
+package vmmc
+
+import (
+	"fmt"
+
+	"repro/internal/lanai"
+	"repro/internal/mem"
+)
+
+// SendQueue is one process's send queue, allocated in LANai SRAM (§4.5).
+// The user posts requests by writing the next ring entry with memory-mapped
+// I/O; the LCP consumes entries in order. Short requests (<= 128 bytes)
+// carry their data inline in the queue entry; long requests carry only the
+// send buffer's virtual address.
+type SendQueue struct {
+	pid     int
+	sramOff int
+	ring    []sqEntry
+	head    int // next entry the LCP consumes
+	tail    int // next entry the host fills
+	count   int
+}
+
+type sqEntry struct {
+	length int
+	dest   ProxyAddr
+	srcVA  mem.VirtAddr // long sends only
+	inline []byte       // short sends only
+	notify bool
+	seq    uint32
+}
+
+const (
+	// sendQueueEntries is the ring depth; the SRAM footprint per entry is
+	// a header plus the 128-byte inline area.
+	sendQueueEntries   = 16
+	sendQueueEntrySize = 24 + 128
+	sendQueueSRAMBytes = sendQueueEntries * sendQueueEntrySize
+)
+
+func newSendQueue(sram *lanai.SRAM, pid int) (*SendQueue, error) {
+	off, err := sram.Alloc(sendQueueSRAMBytes, fmt.Sprintf("sendq:%d", pid))
+	if err != nil {
+		return nil, err
+	}
+	return &SendQueue{pid: pid, sramOff: off, ring: make([]sqEntry, sendQueueEntries)}, nil
+}
+
+// full reports whether the ring has no free entry.
+func (q *SendQueue) full() bool { return q.count == len(q.ring) }
+
+// pending reports how many requests await pickup.
+func (q *SendQueue) pending() int { return q.count }
+
+// post appends a request. The caller must have checked full().
+func (q *SendQueue) post(e sqEntry) {
+	if q.full() {
+		panic(fmt.Sprintf("vmmc: sendq %d overflow", q.pid))
+	}
+	q.ring[q.tail] = e
+	q.tail = (q.tail + 1) % len(q.ring)
+	q.count++
+}
+
+// take removes the oldest request.
+func (q *SendQueue) take() (sqEntry, bool) {
+	if q.count == 0 {
+		return sqEntry{}, false
+	}
+	e := q.ring[q.head]
+	q.ring[q.head] = sqEntry{}
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
+	return e, true
+}
+
+// postWords is how many 32-bit MMIO writes posting e costs: the descriptor
+// words plus, for short sends, the inline data (§5.2: >= 0.5 us of writes).
+func postWords(e sqEntry) int {
+	const descWords = 4 // length, proxy addr (2), flags/doorbell
+	if e.inline != nil {
+		return descWords + (len(e.inline)+3)/4
+	}
+	return descWords + 2 // + 64-bit source virtual address
+}

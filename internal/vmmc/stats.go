@@ -1,0 +1,89 @@
+package vmmc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClusterStats is a point-in-time snapshot of the whole platform's
+// counters, for experiment reports and debugging.
+type ClusterStats struct {
+	Nodes []NodeStats
+	// Network-wide.
+	PacketsDropped int64
+	LastDropReason string
+}
+
+// NodeStats is one node's counters.
+type NodeStats struct {
+	Node int
+	LCP  LCPStats
+	// Driver.
+	TLBRefills    int64
+	PagesLocked   int64
+	Notifications int64
+	// Daemon.
+	ExportsServed int64
+	ImportsServed int64
+	// Board.
+	Interrupts        int64
+	HostDMATransfers  int64
+	HostDMABytes      int64
+	SRAMUsed          int64
+	ReliabilityRetx   int64
+	ReliabilityStalls int64
+}
+
+// Stats snapshots every node's counters.
+func (c *Cluster) Stats() ClusterStats {
+	out := ClusterStats{}
+	dropped, reason := c.Net.Dropped()
+	out.PacketsDropped = dropped
+	out.LastDropReason = reason
+	for _, n := range c.Nodes {
+		ns := NodeStats{Node: n.ID}
+		if n.LCP != nil {
+			ns.LCP = n.LCP.Stats()
+		}
+		ns.TLBRefills, ns.PagesLocked, ns.Notifications = n.Driver.Stats()
+		ns.ExportsServed, ns.ImportsServed = n.Daemon.Stats()
+		ns.Interrupts = n.Board.Interrupts()
+		tr, by := n.Board.HostDMA.Stats()
+		ns.HostDMATransfers, ns.HostDMABytes = tr, by
+		ns.SRAMUsed = int64(n.Board.SRAM.Used())
+		if rl := n.Board.Reliable(); rl != nil {
+			ns.ReliabilityRetx = rl.Retransmits
+			ns.ReliabilityStalls = rl.WindowStalls
+		}
+		out.Nodes = append(out.Nodes, ns)
+	}
+	return out
+}
+
+// Format renders the snapshot as an aligned per-node report.
+func (s ClusterStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d node(s), %d packet(s) dropped", len(s.Nodes), s.PacketsDropped)
+	if s.LastDropReason != "" {
+		fmt.Fprintf(&b, " (last: %s)", s.LastDropReason)
+	}
+	b.WriteString("\n")
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "node %d:\n", n.Node)
+		fmt.Fprintf(&b, "  lcp: %d/%d pkts out/in, %d/%d bytes out/in, %d short + %d long sends\n",
+			n.LCP.PacketsOut, n.LCP.PacketsIn, n.LCP.BytesOut, n.LCP.BytesIn,
+			n.LCP.SendsShort, n.LCP.SendsLong)
+		fmt.Fprintf(&b, "  lcp: %d crc errors, %d protection violations, %d tlb stalls, %d notifications requested\n",
+			n.LCP.CRCErrors, n.LCP.ProtectionViolations, n.LCP.TLBMissStalls, n.LCP.NotificationsRequested)
+		fmt.Fprintf(&b, "  driver: %d tlb refills, %d pages locked, %d notifications delivered\n",
+			n.TLBRefills, n.PagesLocked, n.Notifications)
+		fmt.Fprintf(&b, "  daemon: %d exports, %d imports served\n", n.ExportsServed, n.ImportsServed)
+		fmt.Fprintf(&b, "  board: %d interrupts, %d host-DMA transfers (%d bytes), %d B SRAM in use\n",
+			n.Interrupts, n.HostDMATransfers, n.HostDMABytes, n.SRAMUsed)
+		if n.ReliabilityRetx > 0 || n.ReliabilityStalls > 0 {
+			fmt.Fprintf(&b, "  reliability: %d retransmits, %d window stalls\n",
+				n.ReliabilityRetx, n.ReliabilityStalls)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package xdr
+
+import "fmt"
+
+// SunRPC message framing (RFC 1831/5531), the layer vRPC keeps intact for
+// wire compatibility (§5.4: "remain fully compatible with the existing
+// SunRPC implementations").
+
+// Message types.
+const (
+	MsgCall  = 0
+	MsgReply = 1
+)
+
+// Reply status.
+const (
+	ReplyAccepted = 0
+	ReplyDenied   = 1
+)
+
+// Accept status.
+const (
+	AcceptSuccess      = 0
+	AcceptProgUnavail  = 1
+	AcceptProgMismatch = 2
+	AcceptProcUnavail  = 3
+	AcceptGarbageArgs  = 4
+	AcceptSystemErr    = 5
+)
+
+// RPCVersion is the only SunRPC protocol version.
+const RPCVersion = 2
+
+// CallHeader is the header of an RPC call message.
+type CallHeader struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+}
+
+// EncodeCall writes the call header and returns the encoder for arguments.
+func EncodeCall(h CallHeader) *Encoder {
+	e := NewEncoder()
+	e.PutUint32(h.XID)
+	e.PutUint32(MsgCall)
+	e.PutUint32(RPCVersion)
+	e.PutUint32(h.Prog)
+	e.PutUint32(h.Vers)
+	e.PutUint32(h.Proc)
+	// Null credentials and verifier (AUTH_NONE, zero length).
+	e.PutUint32(0)
+	e.PutUint32(0)
+	e.PutUint32(0)
+	e.PutUint32(0)
+	return e
+}
+
+// DecodeCall parses a call message, returning the header and a decoder
+// positioned at the arguments.
+func DecodeCall(b []byte) (CallHeader, *Decoder, error) {
+	d := NewDecoder(b)
+	var h CallHeader
+	var err error
+	if h.XID, err = d.Uint32(); err != nil {
+		return h, nil, err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return h, nil, err
+	}
+	if mtype != MsgCall {
+		return h, nil, fmt.Errorf("%w: message type %d, want call", ErrBadValue, mtype)
+	}
+	rpcvers, err := d.Uint32()
+	if err != nil {
+		return h, nil, err
+	}
+	if rpcvers != RPCVersion {
+		return h, nil, fmt.Errorf("%w: rpc version %d", ErrBadValue, rpcvers)
+	}
+	if h.Prog, err = d.Uint32(); err != nil {
+		return h, nil, err
+	}
+	if h.Vers, err = d.Uint32(); err != nil {
+		return h, nil, err
+	}
+	if h.Proc, err = d.Uint32(); err != nil {
+		return h, nil, err
+	}
+	// Skip credentials and verifier (flavor + opaque body each).
+	for i := 0; i < 2; i++ {
+		if _, err = d.Uint32(); err != nil {
+			return h, nil, err
+		}
+		if _, err = d.Opaque(400); err != nil {
+			return h, nil, err
+		}
+	}
+	return h, d, nil
+}
+
+// EncodeReply writes an accepted-reply header with the given status and
+// returns the encoder for results.
+func EncodeReply(xid uint32, acceptStat uint32) *Encoder {
+	e := NewEncoder()
+	e.PutUint32(xid)
+	e.PutUint32(MsgReply)
+	e.PutUint32(ReplyAccepted)
+	// Null verifier.
+	e.PutUint32(0)
+	e.PutUint32(0)
+	e.PutUint32(acceptStat)
+	return e
+}
+
+// DecodeReply parses a reply message, returning the XID, accept status and
+// a decoder positioned at the results.
+func DecodeReply(b []byte) (xid, acceptStat uint32, d *Decoder, err error) {
+	d = NewDecoder(b)
+	if xid, err = d.Uint32(); err != nil {
+		return
+	}
+	var mtype uint32
+	if mtype, err = d.Uint32(); err != nil {
+		return
+	}
+	if mtype != MsgReply {
+		err = fmt.Errorf("%w: message type %d, want reply", ErrBadValue, mtype)
+		return
+	}
+	var stat uint32
+	if stat, err = d.Uint32(); err != nil {
+		return
+	}
+	if stat != ReplyAccepted {
+		err = fmt.Errorf("rpc: reply denied")
+		return
+	}
+	if _, err = d.Uint32(); err != nil { // verifier flavor
+		return
+	}
+	if _, err = d.Opaque(400); err != nil { // verifier body
+		return
+	}
+	acceptStat, err = d.Uint32()
+	return
+}

@@ -1,0 +1,237 @@
+package xdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint32(0xDEADBEEF)
+	if !bytes.Equal(e.Bytes(), []byte{0xDE, 0xAD, 0xBE, 0xEF}) {
+		t.Errorf("big-endian encoding wrong: % x", e.Bytes())
+	}
+	d := NewDecoder(e.Bytes())
+	v, err := d.Uint32()
+	if err != nil || v != 0xDEADBEEF {
+		t.Errorf("decoded %#x, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestSignedAndHyper(t *testing.T) {
+	e := NewEncoder()
+	e.PutInt32(-42)
+	e.PutInt64(-1 << 40)
+	e.PutUint64(math.MaxUint64)
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Int32(); v != -42 {
+		t.Errorf("Int32 = %d", v)
+	}
+	if v, _ := d.Int64(); v != -1<<40 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v, _ := d.Uint64(); v != math.MaxUint64 {
+		t.Errorf("Uint64 = %d", v)
+	}
+}
+
+func TestBoolStrict(t *testing.T) {
+	e := NewEncoder()
+	e.PutBool(true)
+	e.PutBool(false)
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Bool(); err != nil || !v {
+		t.Errorf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v {
+		t.Errorf("Bool = %v, %v", v, err)
+	}
+	// Non-0/1 is a wire error.
+	bad := NewDecoder([]byte{0, 0, 0, 7})
+	if _, err := bad.Bool(); err == nil {
+		t.Error("Bool(7) did not error")
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		e := NewEncoder()
+		e.PutFloat64(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Float64()
+		if err != nil || got != v {
+			t.Errorf("Float64(%g) = %g, %v", v, got, err)
+		}
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		e := NewEncoder()
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i + 1)
+		}
+		e.PutOpaque(data)
+		if e.Len()%4 != 0 {
+			t.Errorf("opaque(%d): length %d not 4-aligned", n, e.Len())
+		}
+		want := 4 + (n+3)&^3
+		if e.Len() != want {
+			t.Errorf("opaque(%d): length %d, want %d", n, e.Len(), want)
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque(0)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("opaque(%d) round trip failed: %v %v", n, got, err)
+		}
+		if d.Remaining() != 0 {
+			t.Errorf("opaque(%d): %d bytes left", n, d.Remaining())
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.PutString("hello, xdr")
+	e.PutString("")
+	d := NewDecoder(e.Bytes())
+	if s, _ := d.String(0); s != "hello, xdr" {
+		t.Errorf("String = %q", s)
+	}
+	if s, _ := d.String(0); s != "" {
+		t.Errorf("empty String = %q", s)
+	}
+}
+
+func TestLengthLimits(t *testing.T) {
+	e := NewEncoder()
+	e.PutOpaque(make([]byte, 100))
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Opaque(50); err == nil {
+		t.Error("oversized opaque accepted")
+	}
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); err != ErrShort {
+		t.Errorf("short Uint32 = %v", err)
+	}
+	// Truncated opaque: claims 8 bytes, has 2.
+	d = NewDecoder([]byte{0, 0, 0, 8, 1, 2})
+	if _, err := d.Opaque(0); err == nil {
+		t.Error("truncated opaque accepted")
+	}
+}
+
+func TestUint32Array(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint32Array([]uint32{1, 2, 3, 0xFFFFFFFF})
+	d := NewDecoder(e.Bytes())
+	got, err := d.Uint32Array(0)
+	if err != nil || len(got) != 4 || got[3] != 0xFFFFFFFF {
+		t.Errorf("Uint32Array = %v, %v", got, err)
+	}
+}
+
+// Property: any mixed sequence of values round-trips exactly.
+func TestMixedRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b int64, s string, blob []byte, flag bool) bool {
+		if len(s) > 1000 {
+			s = s[:1000]
+		}
+		e := NewEncoder()
+		e.PutUint32(a)
+		e.PutInt64(b)
+		e.PutString(s)
+		e.PutOpaque(blob)
+		e.PutBool(flag)
+		d := NewDecoder(e.Bytes())
+		ga, err := d.Uint32()
+		if err != nil || ga != a {
+			return false
+		}
+		gb, err := d.Int64()
+		if err != nil || gb != b {
+			return false
+		}
+		gs, err := d.String(0)
+		if err != nil || gs != s {
+			return false
+		}
+		gblob, err := d.Opaque(1 << 21)
+		if err != nil || !bytes.Equal(gblob, blob) {
+			return false
+		}
+		gf, err := d.Bool()
+		return err == nil && gf == flag && d.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	h := CallHeader{XID: 777, Prog: 100005, Vers: 3, Proc: 12}
+	e := EncodeCall(h)
+	e.PutUint32(0xAB) // an argument
+	gh, d, err := DecodeCall(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h {
+		t.Errorf("header = %+v, want %+v", gh, h)
+	}
+	if arg, _ := d.Uint32(); arg != 0xAB {
+		t.Errorf("arg = %#x", arg)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	e := EncodeReply(777, AcceptSuccess)
+	e.PutString("result")
+	xid, stat, d, err := DecodeReply(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xid != 777 || stat != AcceptSuccess {
+		t.Errorf("xid=%d stat=%d", xid, stat)
+	}
+	if s, _ := d.String(0); s != "result" {
+		t.Errorf("result = %q", s)
+	}
+}
+
+func TestDecodeCallRejectsReply(t *testing.T) {
+	e := EncodeReply(1, AcceptSuccess)
+	if _, _, err := DecodeCall(e.Bytes()); err == nil {
+		t.Error("DecodeCall accepted a reply message")
+	}
+}
+
+func TestDecodeReplyRejectsCall(t *testing.T) {
+	e := EncodeCall(CallHeader{XID: 1})
+	if _, _, _, err := DecodeReply(e.Bytes()); err == nil {
+		t.Error("DecodeReply accepted a call message")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint32(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Errorf("Len after Reset = %d", e.Len())
+	}
+	e.PutUint32(2)
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 2 {
+		t.Errorf("post-reset value = %d", v)
+	}
+}

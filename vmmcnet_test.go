@@ -1,0 +1,110 @@
+package vmmcnet_test
+
+import (
+	"testing"
+
+	vmmcnet "repro"
+)
+
+// The public API surface, exercised exactly as the package documentation
+// shows it.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	eng := vmmcnet.NewEngine()
+	c, err := vmmcnet.NewCluster(eng, vmmcnet.Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	c.Go("app", func(p *vmmcnet.Proc) {
+		recv, err := c.Nodes[1].NewProcess(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		send, err := c.Nodes[0].NewProcess(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf, _ := recv.Malloc(vmmcnet.PageSize)
+		if err := recv.Export(p, 1, buf, vmmcnet.PageSize, nil, false); err != nil {
+			t.Error(err)
+			return
+		}
+		dest, _, err := send.Import(p, 1, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		src, _ := send.Malloc(vmmcnet.PageSize)
+		if err := send.Write(src, []byte("hello")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := send.SendMsgSync(p, src, dest, 5, vmmcnet.SendOptions{}); err != nil {
+			t.Error(err)
+			return
+		}
+		recv.SpinByte(p, buf, 'h')
+		got, _ = recv.Read(buf, 5)
+	})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("received %q", got)
+	}
+}
+
+func TestPublicAPIProfileOverride(t *testing.T) {
+	// A slower platform profile must visibly slow the system: double the
+	// LCP dispatch cost and latency should rise.
+	measure := func(prof *vmmcnet.Profile) vmmcnet.Time {
+		eng := vmmcnet.NewEngine()
+		c, err := vmmcnet.NewCluster(eng, vmmcnet.Options{Nodes: 2, Prof: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rtt vmmcnet.Time
+		c.Go("app", func(p *vmmcnet.Proc) {
+			recv, _ := c.Nodes[1].NewProcess(p)
+			send, _ := c.Nodes[0].NewProcess(p)
+			buf, _ := recv.Malloc(vmmcnet.PageSize)
+			if err := recv.Export(p, 1, buf, vmmcnet.PageSize, nil, false); err != nil {
+				t.Error(err)
+				return
+			}
+			dest, _, err := send.Import(p, 1, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			src, _ := send.Malloc(vmmcnet.PageSize)
+			if err := send.Write(src, []byte{1}); err != nil {
+				t.Error(err)
+				return
+			}
+			start := p.Now()
+			if err := send.SendMsgSync(p, src, dest, 1, vmmcnet.SendOptions{}); err != nil {
+				t.Error(err)
+				return
+			}
+			recv.SpinByte(p, buf, 1)
+			rtt = p.Now() - start
+		})
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return rtt
+	}
+	base := measure(nil)
+	slow := vmmcnet.DefaultProfile()
+	slow.LCPDispatch *= 10
+	slowRTT := measure(&slow)
+	if slowRTT <= base {
+		t.Errorf("10x dispatch cost did not slow delivery: %v vs %v", slowRTT, base)
+	}
+	if base < vmmcnet.Micros(5) || base > vmmcnet.Micros(20) {
+		t.Errorf("baseline delivery = %v, outside sane range", base)
+	}
+}
