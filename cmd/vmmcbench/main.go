@@ -6,9 +6,18 @@
 //	vmmcbench                         # run everything
 //	vmmcbench -experiment fig3        # one experiment
 //	vmmcbench -list                   # list experiment ids
+//	vmmcbench -experiment headline -trace t.json -metrics m.json
 //
 // Experiment ids: headline, fig1, fig2, fig3, fig4, tabhw, tabvrpc,
-// tabshrimp, tabrelated, ablations.
+// tabshrimp, tabrelated, extensions, ablations.
+//
+// With -trace, each run records structured events over virtual time and
+// writes a Chrome trace_event JSON file (open in chrome://tracing or
+// Perfetto). With -metrics, the run's final metrics snapshot (counters,
+// gauges, utilizations) is written as JSON. Either flag also prints a
+// short metrics summary after each experiment. Traces carry only virtual
+// timestamps, so two runs of the same experiment produce byte-identical
+// artifacts. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -134,8 +143,11 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		id   = flag.String("experiment", "", "experiment id to run (default: all)")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		id       = flag.String("experiment", "", "experiment id to run (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON artifact here")
+		metrPth  = flag.String("metrics", "", "write a metrics snapshot JSON artifact here")
+		traceCap = flag.Int("trace-capacity", 0, "trace ring buffer size in events (0 = default)")
 	)
 	flag.Parse()
 
@@ -145,6 +157,12 @@ func main() {
 		}
 		return
 	}
+	observing := *tracePth != "" || *metrPth != ""
+	bench.SetObservability(bench.Observability{
+		TracePath:     *tracePth,
+		MetricsPath:   *metrPth,
+		TraceCapacity: *traceCap,
+	})
 	ran := false
 	for _, e := range experiments {
 		if *id != "" && e.id != *id {
@@ -154,6 +172,11 @@ func main() {
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "vmmcbench: %s: %v\n", e.id, err)
 			os.Exit(1)
+		}
+		if observing {
+			if s := bench.LastMetricsSummary(); s != "" {
+				fmt.Printf("%s\n\n", s)
+			}
 		}
 		ran = true
 	}

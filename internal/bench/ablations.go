@@ -177,7 +177,7 @@ func AblationReliability() (Table, error) {
 		Columns: []string{"configuration", "one-word latency", "peak bandwidth"},
 	}
 	for _, reliable := range []bool{false, true} {
-		eng := sim.NewEngine()
+		eng := observedEngine()
 		// 16 MB nodes: the retransmit window shares the 256 KB SRAM with
 		// the incoming page table, whose size scales with host memory.
 		c, err := vmmc.NewCluster(eng, vmmc.Options{Nodes: 2, MemBytes: 16 << 20, Reliable: reliable})
@@ -200,6 +200,9 @@ func AblationReliability() (Table, error) {
 		if err := c.Start(); err != nil {
 			return t, err
 		}
+		if err := capture(eng); err != nil {
+			return t, err
+		}
 		name := "CRC errors dropped (paper, §4.2)"
 		if reliable {
 			name = "go-back-N reliability enabled"
@@ -219,7 +222,7 @@ func ExtensionsTable() (Table, error) {
 	}
 
 	// Transfer redirection: posting cost vs the copy it replaces.
-	eng := sim.NewEngine()
+	eng := observedEngine()
 	c, err := vmmc.NewCluster(eng, vmmc.Options{Nodes: 2, MemBytes: 64 << 20})
 	if err != nil {
 		return t, err
@@ -261,6 +264,9 @@ func ExtensionsTable() (Table, error) {
 		copyUs = (p.Now() - start).Micros()
 	})
 	if err := c.Start(); err != nil {
+		return t, err
+	}
+	if err := capture(eng); err != nil {
 		return t, err
 	}
 	t.Rows = append(t.Rows, []string{

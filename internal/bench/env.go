@@ -51,7 +51,7 @@ const (
 // fine for request/response protocols; concurrent senders spawn their own
 // processes via p.Engine().Go.
 func RunPair(prof *hw.Profile, window int, fn func(p *sim.Proc, pr *Pair)) error {
-	eng := sim.NewEngine()
+	eng := observedEngine()
 	c, err := vmmc.NewCluster(eng, vmmc.Options{Nodes: 2, MemBytes: 64 << 20, Prof: prof})
 	if err != nil {
 		return err
@@ -66,6 +66,9 @@ func RunPair(prof *hw.Profile, window int, fn func(p *sim.Proc, pr *Pair)) error
 		fn(p, pr)
 	})
 	if err := c.Start(); err != nil {
+		return err
+	}
+	if err := capture(eng); err != nil {
 		return err
 	}
 	return inner

@@ -22,7 +22,7 @@ var Fig1Sizes = []int{64, 128, 256, 512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 
 // EXPERIMENTS.md for how the figure's two roles are split across the
 // directions in this reproduction).
 func Fig1HostDMA() ([]Series, error) {
-	eng := sim.NewEngine()
+	eng := observedEngine()
 	prof := hw.Default()
 	net := myrinet.New(eng, prof)
 	sw := net.AddSwitch(8)
@@ -83,6 +83,9 @@ func Fig1HostDMA() ([]Series, error) {
 	}
 	if runErr != nil {
 		return nil, runErr
+	}
+	if err := capture(eng); err != nil {
+		return nil, err
 	}
 	return []Series{read, write}, nil
 }

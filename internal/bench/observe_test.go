@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vmmc"
+)
+
+// runSmallObserved runs a short pair workload with artifact capture into
+// the given paths and returns the artifact bytes.
+func runSmallObserved(t *testing.T, tracePath, metricsPath string) (traceJSON, metricsJSON []byte) {
+	t.Helper()
+	SetObservability(Observability{TracePath: tracePath, MetricsPath: metricsPath})
+	defer SetObservability(Observability{})
+	err := RunPair(nil, 64<<10, func(p *sim.Proc, pr *Pair) {
+		if _, err := pr.PingPongLatency(p, 4, 5); err != nil {
+			panic(err)
+		}
+		if _, err := pr.OneWayBandwidth(p, 64<<10, 2); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceJSON, err = os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsJSON, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traceJSON, metricsJSON
+}
+
+// TestArtifactsDeterministic runs the same experiment twice and demands
+// byte-identical trace and metrics artifacts: events carry only virtual
+// time, so nothing about the host leaks into the files.
+func TestArtifactsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	t1, m1 := runSmallObserved(t, filepath.Join(dir, "t1.json"), filepath.Join(dir, "m1.json"))
+	t2, m2 := runSmallObserved(t, filepath.Join(dir, "t2.json"), filepath.Join(dir, "m2.json"))
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace artifacts differ between identical runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics artifacts differ between identical runs")
+	}
+	if len(t1) == 0 || len(m1) == 0 {
+		t.Fatal("empty artifact")
+	}
+
+	var traceObj struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(t1, &traceObj); err != nil {
+		t.Fatalf("trace artifact is not valid JSON: %v", err)
+	}
+	if len(traceObj.TraceEvents) == 0 {
+		t.Error("trace artifact holds no events")
+	}
+	if err := json.Unmarshal(m1, &map[string]any{}); err != nil {
+		t.Fatalf("metrics artifact is not valid JSON: %v", err)
+	}
+	for _, want := range []string{
+		"dma:lanai0:host/utilization",
+		"lanai0/sram_used_bytes",
+		"node0/tlb_hits",
+		"node0/tlb_misses",
+		"nic0/bytes_injected",
+		"nic1/bytes_delivered",
+	} {
+		if !strings.Contains(string(m1), `"`+want+`"`) {
+			t.Errorf("metrics artifact is missing %q", want)
+		}
+	}
+
+	if sum := LastMetricsSummary(); !strings.Contains(sum, "dma:lanai0:host/utilization") ||
+		!strings.Contains(sum, "tlb_hits") {
+		t.Errorf("metrics summary incomplete:\n%s", sum)
+	}
+}
+
+// TestTLBMetricsMatchDriver checks the TLB counters against ground truth:
+// a cold 64-page send needs exactly two 32-entry refill batches (the
+// AblationTLB setup), and the registry's miss/refill counters must agree
+// with the driver's own statistics.
+func TestTLBMetricsMatchDriver(t *testing.T) {
+	const size = 64 * 4096 // 64 pages = 2 refill batches of 32
+	err := RunPair(nil, size, func(p *sim.Proc, pr *Pair) {
+		m := pr.Eng.Metrics()
+		misses := m.Counter("node0/tlb_misses")
+		refills := m.Counter("node0/tlb_refills")
+		missesBefore, refillsBefore := misses.Value(), refills.Value()
+		drvBefore, _, _ := pr.C.Nodes[0].Driver.Stats()
+
+		cold, err := pr.A.Malloc(size)
+		if err != nil {
+			panic(err)
+		}
+		if err := pr.A.SendMsgSync(p, cold, pr.ToB, size, vmmc.SendOptions{}); err != nil {
+			panic(err)
+		}
+		drvAfter, _, _ := pr.C.Nodes[0].Driver.Stats()
+		missDelta := misses.Value() - missesBefore
+		refillDelta := refills.Value() - refillsBefore
+
+		if missDelta != 2 {
+			t.Errorf("cold 64-page send: tlb_misses delta = %d, want 2", missDelta)
+		}
+		if refillDelta != 2 {
+			t.Errorf("cold 64-page send: tlb_refills delta = %d, want 2", refillDelta)
+		}
+		if got, want := refillDelta, drvAfter-drvBefore; got != want {
+			t.Errorf("tlb_refills counter delta = %d, driver served %d refill interrupts", got, want)
+		}
+
+		// The same send again is fully warm: no new misses.
+		missesWarm, refillsWarm := misses.Value(), refills.Value()
+		if err := pr.A.SendMsgSync(p, cold, pr.ToB, size, vmmc.SendOptions{}); err != nil {
+			panic(err)
+		}
+		if d := misses.Value() - missesWarm; d != 0 {
+			t.Errorf("warm resend: tlb_misses delta = %d, want 0", d)
+		}
+		if d := refills.Value() - refillsWarm; d != 0 {
+			t.Errorf("warm resend: tlb_refills delta = %d, want 0", d)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -71,7 +71,7 @@ func TableVRPC() (Table, error) {
 	}
 
 	// Myrinet.
-	eng := sim.NewEngine()
+	eng := observedEngine()
 	cl, err := vmmc.NewCluster(eng, vmmc.Options{Nodes: 2, MemBytes: 64 << 20})
 	if err != nil {
 		return t, err
@@ -108,9 +108,12 @@ func TableVRPC() (Table, error) {
 	if err := cl.Start(); err != nil {
 		return t, err
 	}
+	if err := capture(eng); err != nil {
+		return t, err
+	}
 
 	// SHRIMP.
-	eng2 := sim.NewEngine()
+	eng2 := observedEngine()
 	sys := shrimp.New(eng2, hw.DefaultSHRIMP(), 2, 16<<20)
 	var shrimpRTT float64
 	eng2.Go("vrpc-shrimp", func(p *sim.Proc) {
@@ -129,6 +132,9 @@ func TableVRPC() (Table, error) {
 		})
 	})
 	if err := eng2.Run(); err != nil {
+		return t, err
+	}
+	if err := capture(eng2); err != nil {
 		return t, err
 	}
 
@@ -223,7 +229,7 @@ func TableShrimpComparison() (Table, error) {
 	}
 
 	// SHRIMP side.
-	eng := sim.NewEngine()
+	eng := observedEngine()
 	sys := shrimp.New(eng, hw.DefaultSHRIMP(), 2, 16<<20)
 	var shLat, shBW, shInit float64
 	eng.Go("shrimp-bench", func(p *sim.Proc) {
@@ -257,6 +263,9 @@ func TableShrimpComparison() (Table, error) {
 		shInit = sys.InitiationOverhead().Micros()
 	})
 	if err := eng.Run(); err != nil {
+		return t, err
+	}
+	if err := capture(eng); err != nil {
 		return t, err
 	}
 
@@ -322,7 +331,7 @@ func TableRelatedWork() (Table, error) {
 }
 
 func measureGMAPI() (lat, bw float64, err error) {
-	eng := sim.NewEngine()
+	eng := observedEngine()
 	r, err := testbed.New(eng, hw.Default())
 	if err != nil {
 		return 0, 0, err
@@ -352,12 +361,14 @@ func measureGMAPI() (lat, bw float64, err error) {
 		oneWay := (p.Now() - start).Seconds() / float64(2*iters)
 		bw = float64(8<<10) / oneWay / 1e6
 	})
-	err = eng.Run()
-	return lat, bw, err
+	if err = eng.Run(); err != nil {
+		return lat, bw, err
+	}
+	return lat, bw, capture(eng)
 }
 
 func measureFM() (lat, bw float64, err error) {
-	eng := sim.NewEngine()
+	eng := observedEngine()
 	r, err := testbed.New(eng, hw.Default())
 	if err != nil {
 		return 0, 0, err
@@ -398,12 +409,14 @@ func measureFM() (lat, bw float64, err error) {
 		}
 		bw = float64(count*8<<10) / (doneAt - start).Seconds() / 1e6
 	})
-	err = eng.Run()
-	return lat, bw, err
+	if err = eng.Run(); err != nil {
+		return lat, bw, err
+	}
+	return lat, bw, capture(eng)
 }
 
 func measurePM() (lat, bw float64, err error) {
-	eng := sim.NewEngine()
+	eng := observedEngine()
 	r, err := testbed.New(eng, hw.Default())
 	if err != nil {
 		return 0, 0, err
@@ -457,5 +470,8 @@ func measurePM() (lat, bw float64, err error) {
 	if err := eng.Run(); err != nil {
 		return 0, 0, err
 	}
-	return lat, bw, runErr
+	if runErr != nil {
+		return lat, bw, runErr
+	}
+	return lat, bw, capture(eng)
 }

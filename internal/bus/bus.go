@@ -8,6 +8,7 @@ package bus
 import (
 	"repro/internal/hw"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Bus is a shared I/O bus with FIFO arbitration.
@@ -17,9 +18,12 @@ type Bus struct {
 	res  *sim.Resource
 }
 
-// New returns an idle bus.
+// New returns an idle bus. Its occupancy is tracked in the engine's
+// metrics registry as "bus:<name>/utilization".
 func New(eng *sim.Engine, name string) *Bus {
-	return &Bus{eng: eng, name: name, res: sim.NewResource(eng, "bus:"+name)}
+	b := &Bus{eng: eng, name: name, res: sim.NewResource(eng, "bus:"+name)}
+	b.res.Observe(eng.Metrics().Utilization("bus:" + name + "/utilization"))
+	return b
 }
 
 // Name returns the bus name.
@@ -56,21 +60,36 @@ type DMAEngine struct {
 	transfers   int64
 	bytes       int64
 	turnarounds int64
+
+	// Observability: occupancy in the metrics registry plus per-transfer
+	// counters; spans are emitted into the engine's trace collector.
+	mBytes       *trace.Counter
+	mTransfers   *trace.Counter
+	mTurnarounds *trace.Counter
 }
 
 // SetTurnaround sets the penalty charged when consecutive transfers use
 // different profiles (direction changes on the bus).
 func (d *DMAEngine) SetTurnaround(t sim.Time) { d.turnaround = t }
 
-// NewDMAEngine returns an idle engine. bus may be nil.
+// NewDMAEngine returns an idle engine. bus may be nil. Engine occupancy is
+// tracked as "dma:<name>/utilization" in the engine's metrics registry,
+// alongside "dma:<name>/bytes", "/transfers" and "/turnarounds" counters;
+// every transfer also emits a trace span on component "dma:<name>".
 func NewDMAEngine(eng *sim.Engine, name string, profile hw.DMAProfile, b *Bus) *DMAEngine {
-	return &DMAEngine{
+	d := &DMAEngine{
 		eng:     eng,
 		name:    name,
 		profile: profile,
 		res:     sim.NewResource(eng, "dma:"+name),
 		bus:     b,
 	}
+	m := eng.Metrics()
+	d.res.Observe(m.Utilization("dma:" + name + "/utilization"))
+	d.mBytes = m.Counter("dma:" + name + "/bytes")
+	d.mTransfers = m.Counter("dma:" + name + "/transfers")
+	d.mTurnarounds = m.Counter("dma:" + name + "/turnarounds")
+	return d
 }
 
 // Profile returns the engine's cost profile.
@@ -86,14 +105,15 @@ func (d *DMAEngine) SetProfile(p hw.DMAProfile) { d.profile = p }
 func (d *DMAEngine) Transfer(p *sim.Proc, n int) {
 	cost := d.profile.Cost(n)
 	d.res.Acquire(p)
+	d.eng.TraceBegin("dma:"+d.name, "dma", "transfer")
 	if d.bus != nil {
 		d.bus.Use(p, cost)
 	} else {
 		p.Sleep(cost)
 	}
+	d.eng.TraceEnd("dma:"+d.name, "dma", "transfer")
 	d.res.Release(p)
-	d.transfers++
-	d.bytes += int64(n)
+	d.account(n)
 }
 
 // TransferWith is Transfer with an explicit cost profile, for engines whose
@@ -106,16 +126,28 @@ func (d *DMAEngine) TransferWith(p *sim.Proc, n int, prof hw.DMAProfile) {
 	if d.haveLast && d.lastProfile != prof && d.turnaround > 0 {
 		cost += d.turnaround
 		d.turnarounds++
+		d.mTurnarounds.Add(1)
+		d.eng.TraceInstant("dma:"+d.name, "dma", "turnaround")
 	}
 	d.lastProfile, d.haveLast = prof, true
+	d.eng.TraceBegin("dma:"+d.name, "dma", "transfer")
 	if d.bus != nil {
 		d.bus.Use(p, cost)
 	} else {
 		p.Sleep(cost)
 	}
+	d.eng.TraceEnd("dma:"+d.name, "dma", "transfer")
 	d.res.Release(p)
+	d.account(n)
+}
+
+// account updates the engine's legacy counters and metrics after a
+// transfer.
+func (d *DMAEngine) account(n int) {
 	d.transfers++
 	d.bytes += int64(n)
+	d.mTransfers.Add(1)
+	d.mBytes.Add(int64(n))
 }
 
 // TransferAsync starts a transfer that completes in the background,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Board is one Myrinet PCI interface: SRAM, the three DMA engines, the
@@ -38,7 +39,8 @@ type Board struct {
 	// never recovered (§4.2).
 	reliable *ReliableLink
 
-	interrupts int64
+	interrupts  int64
+	mInterrupts *trace.Counter
 }
 
 // NewBoard assembles a board attached to the given NIC, host memory, and
@@ -47,7 +49,7 @@ func NewBoard(eng *sim.Engine, prof hw.Profile, nic *myrinet.NIC, hostMem *mem.P
 	id := nic.ID
 	hostDMA := bus.NewDMAEngine(eng, fmt.Sprintf("lanai%d:host", id), prof.HostToLANai, pci)
 	hostDMA.SetTurnaround(prof.HostDMATurnaround)
-	return &Board{
+	b := &Board{
 		Eng:     eng,
 		Prof:    prof,
 		SRAM:    NewSRAM(prof.SRAMSize),
@@ -57,6 +59,16 @@ func NewBoard(eng *sim.Engine, prof hw.Profile, nic *myrinet.NIC, hostMem *mem.P
 		NetRecv: bus.NewDMAEngine(eng, fmt.Sprintf("lanai%d:netrecv", id), prof.NetRecv, nil),
 		hostMem: hostMem,
 	}
+	// SRAM occupancy: a gauge whose high-water mark survives frees, plus a
+	// counter track in the trace for watching allocation over time.
+	comp := fmt.Sprintf("lanai%d", id)
+	sramGauge := eng.Metrics().Gauge(comp + "/sram_used_bytes")
+	b.SRAM.SetUsageHook(func(used int) {
+		sramGauge.Set(float64(used))
+		eng.TraceCounter(comp, "sram", "sram_used_bytes", float64(used))
+	})
+	b.mInterrupts = eng.Metrics().Counter(comp + "/interrupts")
+	return b
 }
 
 // HostMem returns the node's physical memory the board DMAs against.
@@ -70,6 +82,10 @@ func (b *Board) SetInterruptHandler(fn func(cause any)) { b.intr = fn }
 // charge the host's interrupt entry cost itself.
 func (b *Board) RaiseInterrupt(cause any) {
 	b.interrupts++
+	b.mInterrupts.Add(1)
+	if b.Eng.Trace().Enabled() {
+		b.Eng.TraceInstant(fmt.Sprintf("lanai%d", b.NIC.ID), "irq", fmt.Sprintf("%T", cause))
+	}
 	if b.intr == nil {
 		panic(fmt.Sprintf("lanai%d: interrupt %v with no handler", b.NIC.ID, cause))
 	}

@@ -13,9 +13,10 @@ import (
 
 // SRAM is the board memory: a first-fit allocator over real backing bytes.
 type SRAM struct {
-	data   []byte
-	allocs map[int]allocation // offset -> allocation
-	frees  []span             // sorted, coalesced free spans
+	data    []byte
+	allocs  map[int]allocation // offset -> allocation
+	frees   []span             // sorted, coalesced free spans
+	onUsage func(used int)     // optional observer, called after Alloc/Free
 }
 
 type allocation struct {
@@ -36,6 +37,16 @@ func NewSRAM(size int) *SRAM {
 
 // Size returns the total SRAM size.
 func (s *SRAM) Size() int { return len(s.data) }
+
+// SetUsageHook installs an observer invoked with the allocated byte count
+// after every successful Alloc and Free. The board wires this to a metrics
+// gauge so snapshots report the SRAM high-water mark.
+func (s *SRAM) SetUsageHook(fn func(used int)) {
+	s.onUsage = fn
+	if fn != nil {
+		fn(s.Used())
+	}
+}
 
 // Used returns the number of allocated bytes.
 func (s *SRAM) Used() int {
@@ -65,6 +76,9 @@ func (s *SRAM) Alloc(n int, name string) (int, error) {
 				s.frees[i] = span{f.off + n, f.size - n}
 			}
 			s.allocs[off] = allocation{size: n, name: name}
+			if s.onUsage != nil {
+				s.onUsage(s.Used())
+			}
 			return off, nil
 		}
 	}
@@ -91,6 +105,9 @@ func (s *SRAM) Free(off int) {
 		}
 	}
 	s.frees = out
+	if s.onUsage != nil {
+		s.onUsage(s.Used())
+	}
 }
 
 // Bytes returns the live backing slice for [off, off+n). The range must lie

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Packet is a Myrinet packet in flight. The route is a sequence of absolute
@@ -71,6 +72,10 @@ type NIC struct {
 
 	injected  int64
 	delivered int64
+
+	// Per-link metrics: packets and wire bytes in each direction.
+	mPktsOut, mPktsIn   *trace.Counter
+	mBytesOut, mBytesIn *trace.Counter
 }
 
 // Network is the fabric: all switches, NICs and cables, plus the timing
@@ -104,14 +109,24 @@ func (n *Network) AddSwitch(nports int) *Switch {
 	return s
 }
 
-// AddNIC creates an unattached NIC.
+// AddNIC creates an unattached NIC. Its link activity is tracked in the
+// engine's metrics registry under "nic<id>/": injection-serialization
+// utilization plus packet and wire-byte counters per direction.
 func (n *Network) AddNIC() *NIC {
+	id := len(n.nics)
 	nic := &NIC{
-		ID:  len(n.nics),
+		ID:  id,
 		net: n,
-		tx:  sim.NewResource(n.eng, fmt.Sprintf("myri:nic%d:tx", len(n.nics))),
-		RX:  sim.NewQueue[*Packet](n.eng, fmt.Sprintf("myri:nic%d:rx", len(n.nics))),
+		tx:  sim.NewResource(n.eng, fmt.Sprintf("myri:nic%d:tx", id)),
+		RX:  sim.NewQueue[*Packet](n.eng, fmt.Sprintf("myri:nic%d:rx", id)),
 	}
+	m := n.eng.Metrics()
+	comp := fmt.Sprintf("nic%d", id)
+	nic.tx.Observe(m.Utilization(comp + "/link_out_utilization"))
+	nic.mPktsOut = m.Counter(comp + "/packets_injected")
+	nic.mPktsIn = m.Counter(comp + "/packets_delivered")
+	nic.mBytesOut = m.Counter(comp + "/bytes_injected")
+	nic.mBytesIn = m.Counter(comp + "/bytes_delivered")
 	n.nics = append(n.nics, nic)
 	return nic
 }
@@ -207,21 +222,27 @@ func (nic *NIC) Send(p *sim.Proc, route []byte, payload []byte) {
 	}
 
 	n := nic.net
+	wire := wireBytes(pk)
 	cost := n.prof.LinkFlitCost +
-		sim.Time(float64(wireBytes(pk))/n.prof.LinkRate*float64(sim.Second))
+		sim.Time(float64(wire)/n.prof.LinkRate*float64(sim.Second))
 	nic.tx.Use(p, cost)
 	nic.injected++
+	nic.mPktsOut.Add(1)
+	nic.mBytesOut.Add(int64(wire))
 
 	dst, hops, ingress, reason := n.walk(nic, pk.Route)
 	if dst == nil {
 		n.dropped++
 		n.lastDrop = reason
 		n.eng.Tracef("myrinet: packet from NIC %d dropped: %s", nic.ID, reason)
+		n.eng.TraceInstant(fmt.Sprintf("nic%d", nic.ID), "net", "packet_dropped")
 		return
 	}
 	pk.Ingress = ingress
 	n.eng.After(sim.Time(hops)*n.prof.SwitchLatency, func() {
 		dst.delivered++
+		dst.mPktsIn.Add(1)
+		dst.mBytesIn.Add(int64(wire))
 		dst.RX.Put(pk)
 	})
 }

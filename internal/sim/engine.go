@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Event is a scheduled callback. It can be canceled before it fires.
@@ -66,11 +68,18 @@ type Engine struct {
 	procs   map[*Proc]struct{} // live (spawned, not finished) processes
 	stopped bool
 	trace   func(t Time, format string, args ...any)
+
+	collector *trace.Collector
+	metrics   *trace.Registry
 }
 
 // NewEngine returns an engine with the clock at zero and no events.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{})}
+	return &Engine{
+		procs:     make(map[*Proc]struct{}),
+		collector: trace.NewCollector(),
+		metrics:   trace.NewRegistry(),
+	}
 }
 
 // Now returns the current virtual time.
@@ -87,6 +96,56 @@ func (e *Engine) Tracef(format string, args ...any) {
 	if e.trace != nil {
 		e.trace(e.now, format, args...)
 	}
+}
+
+// Trace returns the engine's structured trace collector. It is disabled by
+// default; call Trace().Enable to start recording typed events.
+func (e *Engine) Trace() *trace.Collector { return e.collector }
+
+// Metrics returns the engine's metrics registry. Metrics are always on:
+// components register counters, gauges and utilizations here at
+// construction time and update them as the model runs.
+func (e *Engine) Metrics() *trace.Registry { return e.metrics }
+
+// TraceBegin opens a span at the current virtual time. It pairs with a
+// later TraceEnd with the same component and name.
+func (e *Engine) TraceBegin(component, category, name string) {
+	if e.collector.Enabled() {
+		e.collector.Emit(trace.Event{T: int64(e.now), Ph: trace.PhaseBegin,
+			Component: component, Category: category, Name: name})
+	}
+}
+
+// TraceEnd closes the most recent span with the same component and name.
+func (e *Engine) TraceEnd(component, category, name string) {
+	if e.collector.Enabled() {
+		e.collector.Emit(trace.Event{T: int64(e.now), Ph: trace.PhaseEnd,
+			Component: component, Category: category, Name: name})
+	}
+}
+
+// TraceInstant records a point event at the current virtual time.
+func (e *Engine) TraceInstant(component, category, name string) {
+	if e.collector.Enabled() {
+		e.collector.Emit(trace.Event{T: int64(e.now), Ph: trace.PhaseInstant,
+			Component: component, Category: category, Name: name})
+	}
+}
+
+// TraceCounter samples a numeric value at the current virtual time. The
+// trace viewer renders successive samples of one (component, name) pair as
+// a counter track.
+func (e *Engine) TraceCounter(component, category, name string, value float64) {
+	if e.collector.Enabled() {
+		e.collector.Emit(trace.Event{T: int64(e.now), Ph: trace.PhaseCounter,
+			Component: component, Category: category, Name: name, Value: value})
+	}
+}
+
+// MetricsSnapshot captures every registered metric at the current virtual
+// time.
+func (e *Engine) MetricsSnapshot() trace.Snapshot {
+	return e.metrics.Snapshot(int64(e.now))
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past

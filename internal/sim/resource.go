@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Resource models a unit-capacity resource with FIFO arbitration — a bus,
 // a DMA engine, a lock. Processes Acquire it, hold it across virtual time,
@@ -14,12 +18,18 @@ type Resource struct {
 	busySince Time
 	busyTotal Time
 	acquires  int64
+	util      *trace.Utilization // optional metrics observer
 }
 
 // NewResource returns an idle resource named name.
 func NewResource(eng *Engine, name string) *Resource {
 	return &Resource{eng: eng, name: name}
 }
+
+// Observe attaches a metrics utilization tracker: the resource marks it
+// busy on every grant and idle on every release, so a snapshot reports the
+// fraction of virtual time the resource was held.
+func (r *Resource) Observe(u *trace.Utilization) { r.util = u }
 
 // Acquire blocks p until it holds the resource.
 func (r *Resource) Acquire(p *Proc) {
@@ -48,6 +58,9 @@ func (r *Resource) grant(p *Proc) {
 	r.holder = p
 	r.busySince = r.eng.Now()
 	r.acquires++
+	if r.util != nil {
+		r.util.BusyAt(int64(r.busySince))
+	}
 }
 
 // Release frees the resource and hands it to the next live queued process,
@@ -60,6 +73,9 @@ func (r *Resource) Release(p *Proc) {
 	}
 	r.busyTotal += r.eng.Now() - r.busySince
 	r.holder = nil
+	if r.util != nil {
+		r.util.IdleAt(int64(r.eng.Now()))
+	}
 	for len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]

@@ -1,0 +1,220 @@
+package trace
+
+import "sort"
+
+// Registry holds named metrics. Metrics are get-or-create by name, so
+// instrumentation sites can look them up once at construction time and hold
+// the pointer; updates are then a field write with no map access. Snapshot
+// output is sorted by name, so registration order never leaks into
+// artifacts.
+//
+// Naming convention: "component/metric", e.g. "lanai0/sram_used_bytes",
+// "dma:lanai0:host/utilization", "node1/tlb_misses".
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	utils    map[string]*Utilization
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		utils:    make(map[string]*Utilization),
+	}
+}
+
+// Counter returns the counter named name, creating it at zero if needed.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge named name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Utilization returns the utilization tracker named name, creating it if
+// needed.
+func (r *Registry) Utilization(name string) *Utilization {
+	u, ok := r.utils[name]
+	if !ok {
+		u = &Utilization{}
+		r.utils[name] = u
+	}
+	return u
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a sampled value that also tracks its high-water mark.
+type Gauge struct {
+	v, hi float64
+	set   bool
+}
+
+// Set records the current value, updating the high-water mark.
+func (g *Gauge) Set(v float64) {
+	g.v = v
+	if !g.set || v > g.hi {
+		g.hi = v
+	}
+	g.set = true
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() float64 { return g.v }
+
+// High returns the largest value ever set.
+func (g *Gauge) High() float64 { return g.hi }
+
+// Utilization tracks the fraction of virtual time a resource is busy. The
+// owner calls BusyAt when the resource is granted and IdleAt when it is
+// released; Value integrates busy time up to the asked-for instant.
+type Utilization struct {
+	busySince int64
+	busyTotal int64
+	busy      bool
+	grants    int64
+}
+
+// BusyAt marks the resource busy starting at virtual time now (ns).
+func (u *Utilization) BusyAt(now int64) {
+	if u.busy {
+		return
+	}
+	u.busy = true
+	u.busySince = now
+	u.grants++
+}
+
+// IdleAt marks the resource idle at virtual time now (ns).
+func (u *Utilization) IdleAt(now int64) {
+	if !u.busy {
+		return
+	}
+	u.busy = false
+	u.busyTotal += now - u.busySince
+}
+
+// Value returns busy-time / total-time over [0, now]. A zero now yields 0.
+func (u *Utilization) Value(now int64) float64 {
+	if now == 0 {
+		return 0
+	}
+	busy := u.busyTotal
+	if u.busy {
+		busy += now - u.busySince
+	}
+	return float64(busy) / float64(now)
+}
+
+// BusyNS returns the accumulated busy time in nanoseconds up to now.
+func (u *Utilization) BusyNS(now int64) int64 {
+	busy := u.busyTotal
+	if u.busy {
+		busy += now - u.busySince
+	}
+	return busy
+}
+
+// Grants returns how many idle-to-busy transitions occurred.
+func (u *Utilization) Grants() int64 { return u.grants }
+
+// CounterValue is one named counter in a snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// GaugeValue is one named gauge in a snapshot.
+type GaugeValue struct {
+	Name  string
+	Value float64
+	High  float64
+}
+
+// UtilizationValue is one named utilization in a snapshot.
+type UtilizationValue struct {
+	Name   string
+	Value  float64 // busy fraction of [0, NowNS]
+	BusyNS int64
+	Grants int64
+}
+
+// Snapshot is a point-in-time, order-stable copy of every metric. Entries
+// are sorted by name.
+type Snapshot struct {
+	NowNS        int64
+	Counters     []CounterValue
+	Gauges       []GaugeValue
+	Utilizations []UtilizationValue
+}
+
+// Snapshot captures every registered metric at virtual time now (ns).
+func (r *Registry) Snapshot(now int64) Snapshot {
+	s := Snapshot{NowNS: now}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value(), High: g.High()})
+	}
+	for name, u := range r.utils {
+		s.Utilizations = append(s.Utilizations, UtilizationValue{
+			Name: name, Value: u.Value(now), BusyNS: u.BusyNS(now), Grants: u.Grants(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Utilizations, func(i, j int) bool { return s.Utilizations[i].Name < s.Utilizations[j].Name })
+	return s
+}
+
+// Counter returns the snapshot value of the named counter.
+func (s Snapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the snapshot entry of the named gauge.
+func (s Snapshot) Gauge(name string) (GaugeValue, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GaugeValue{}, false
+}
+
+// Utilization returns the snapshot entry of the named utilization.
+func (s Snapshot) Utilization(name string) (UtilizationValue, bool) {
+	for _, u := range s.Utilizations {
+		if u.Name == name {
+			return u, true
+		}
+	}
+	return UtilizationValue{}, false
+}

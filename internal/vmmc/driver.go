@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Driver is the kernel-loadable VMMC device driver (§4.1, §5.1): the only
@@ -17,9 +18,19 @@ type Driver struct {
 	tlbRefills    int64
 	pagesLocked   int64
 	notifications int64
+
+	mRefills, mLocked, mNotify *trace.Counter
 }
 
-func newDriver(n *Node) *Driver { return &Driver{node: n} }
+func newDriver(n *Node) *Driver {
+	m := n.Eng.Metrics()
+	return &Driver{
+		node:     n,
+		mRefills: m.Counter(fmt.Sprintf("node%d/tlb_refills", n.ID)),
+		mLocked:  m.Counter(fmt.Sprintf("node%d/pages_locked", n.ID)),
+		mNotify:  m.Counter(fmt.Sprintf("node%d/notifications_delivered", n.ID)),
+	}
+}
 
 // Interrupt causes raised by the LCP.
 
@@ -48,8 +59,11 @@ func (d *Driver) handleInterrupt(cause any) {
 	switch irq := cause.(type) {
 	case tlbMissIRQ:
 		n.Eng.Go(fmt.Sprintf("driver%d:tlbmiss", n.ID), func(p *simProc) {
+			comp := fmt.Sprintf("node%d/driver", n.ID)
+			n.Eng.TraceBegin(comp, "irq", "tlb_refill")
 			p.Sleep(n.Prof.InterruptCost)
 			err := d.refillTLB(p, irq.pid, irq.vpage)
+			n.Eng.TraceEnd(comp, "irq", "tlb_refill")
 			irq.done(err)
 		})
 	case notifyIRQ:
@@ -86,6 +100,7 @@ func (d *Driver) refillTLB(p *simProc, pid int, vpage uint64) error {
 		}
 		n.Phys.Pin(pa.Frame())
 		d.pagesLocked++
+		d.mLocked.Add(1)
 		if oldVP, oldFrame, evicted := st.tlb.Insert(vp, pa.Frame()); evicted {
 			_ = oldVP
 			n.Phys.Unpin(oldFrame)
@@ -93,6 +108,7 @@ func (d *Driver) refillTLB(p *simProc, pid int, vpage uint64) error {
 		inserted++
 	}
 	d.tlbRefills++
+	d.mRefills.Add(1)
 	if inserted == 0 {
 		return fmt.Errorf("driver%d: tlb miss on unmapped va page %#x (pid %d)", n.ID, vpage, pid)
 	}
@@ -114,6 +130,8 @@ func (d *Driver) deliverNotification(p *simProc, irq notifyIRQ) {
 	}
 	p.Sleep(n.Prof.SignalCost)
 	d.notifications++
+	d.mNotify.Add(1)
+	n.Eng.TraceInstant(fmt.Sprintf("node%d/driver", n.ID), "irq", "notification_signal")
 	h(p, irq.tag, irq.offset, irq.length)
 }
 

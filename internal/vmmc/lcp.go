@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // LCP is the VMMC LANai control program (§4): the software state machine
@@ -48,6 +49,46 @@ type LCP struct {
 	scratchOff int    // 8-byte completion scratch
 
 	stats LCPStats
+
+	// comp is the trace component name ("node<id>/lcp"); m holds the
+	// always-on metrics counters mirroring the hot LCPStats fields.
+	comp string
+	m    lcpMetrics
+}
+
+// lcpMetrics are the LCP's registry counters, resolved once at boot so the
+// hot paths update them without map lookups.
+type lcpMetrics struct {
+	sendsShort, sendsLong *trace.Counter
+	tightIters, mainIters *trace.Counter
+	crcErrors, protViol   *trace.Counter
+	tlbHits, tlbMisses    *trace.Counter
+	tlbMissStalls         *trace.Counter
+	notifyRequested       *trace.Counter
+	packetsOut, packetsIn *trace.Counter
+	bytesOut, bytesIn     *trace.Counter
+}
+
+func newLCPMetrics(r *trace.Registry, nodeID int) lcpMetrics {
+	c := func(name string) *trace.Counter {
+		return r.Counter(fmt.Sprintf("node%d/%s", nodeID, name))
+	}
+	return lcpMetrics{
+		sendsShort:      c("lcp_sends_short"),
+		sendsLong:       c("lcp_sends_long"),
+		tightIters:      c("lcp_tight_loop_iterations"),
+		mainIters:       c("lcp_main_loop_iterations"),
+		crcErrors:       c("lcp_crc_errors"),
+		protViol:        c("lcp_protection_violations"),
+		tlbHits:         c("tlb_hits"),
+		tlbMisses:       c("tlb_misses"),
+		tlbMissStalls:   c("tlb_miss_stalls"),
+		notifyRequested: c("lcp_notifications_requested"),
+		packetsOut:      c("lcp_packets_out"),
+		packetsIn:       c("lcp_packets_in"),
+		bytesOut:        c("lcp_bytes_out"),
+		bytesIn:         c("lcp_bytes_in"),
+	}
 }
 
 // LCPStats counts LCP-observable events.
@@ -121,6 +162,8 @@ func newLCP(n *Node, routes myrinet.RouteTable) (*LCP, error) {
 		work:      sim.NewCond(n.Eng),
 		redirects: make(map[uint32]*redirectRec),
 		arrivedHW: make(map[uint32]int),
+		comp:      fmt.Sprintf("node%d/lcp", n.ID),
+		m:         newLCPMetrics(n.Eng.Metrics(), n.ID),
 	}
 	sram := n.Board.SRAM
 	var err error
@@ -247,9 +290,11 @@ func (l *LCP) run(p *simProc) {
 		tight := prof.TightSendLoop && l.curJob != nil && len(l.rxq) == 0
 		if tight {
 			l.stats.TightLoopIterations++
+			l.m.tightIters.Add(1)
 			p.Sleep(prof.LCPDispatch / 4)
 		} else {
 			l.stats.MainLoopIterations++
+			l.m.mainIters.Add(1)
 			p.Sleep(prof.LCPDispatch)
 		}
 
@@ -260,6 +305,7 @@ func (l *LCP) run(p *simProc) {
 			if l.curJob != nil {
 				// Abandoning the tight sending loop: save the send state,
 				// run the main loop, come back (§5.3).
+				l.node.Eng.TraceInstant(l.comp, "lcp", "tight_loop_abandoned")
 				p.Sleep(prof.LCPLoopSwitch)
 			}
 			item := l.rxq[0]
@@ -288,6 +334,10 @@ func (l *LCP) scanQueues(p *simProc) (*lcpProcState, sqEntry, bool) {
 		p.Sleep(l.node.Prof.LCPScanPerQueue)
 		l.stats.QueueScansTotalDistance++
 		if e, ok := st.sq.take(); ok {
+			if eng := l.node.Eng; eng.Trace().Enabled() {
+				eng.TraceCounter(l.comp, "lcp",
+					fmt.Sprintf("sendq%d_depth", st.pid), float64(st.sq.pending()))
+			}
 			l.scanPtr = (idx + 1) % nq
 			return st, e, true
 		}
@@ -341,6 +391,9 @@ func (l *LCP) writeCompletion(p *simProc, st *lcpProcState, seq uint32, code uin
 // reusable immediately) and injects one packet.
 func (l *LCP) handleShort(p *simProc, st *lcpProcState, e sqEntry) {
 	l.stats.SendsShort++
+	l.m.sendsShort.Add(1)
+	l.node.Eng.TraceBegin(l.comp, "lcp", "short_send")
+	defer l.node.Eng.TraceEnd(l.comp, "lcp", "short_send")
 	p.Sleep(l.node.Prof.LCPShortSend)
 	destNode, err := st.outPT.checkTransfer(e.dest, e.length)
 	if err != nil {
@@ -366,12 +419,15 @@ func (l *LCP) handleShort(p *simProc, st *lcpProcState, e sqEntry) {
 	if e.notify {
 		hdr.Flags |= flagNotify
 		l.stats.NotificationsRequested++
+		l.m.notifyRequested.Add(1)
 	}
 	l.writeCompletion(p, st, e.seq, ceOK)
 	payload := append(hdr.encode(), e.inline...)
 	l.node.Board.SendPacket(p, route, payload)
 	l.stats.PacketsOut++
 	l.stats.BytesOut += int64(e.length)
+	l.m.packetsOut.Add(1)
+	l.m.bytesOut.Add(int64(e.length))
 }
 
 func (l *LCP) completeError(p *simProc, st *lcpProcState, seq uint32, err error) {

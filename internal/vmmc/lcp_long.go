@@ -51,6 +51,7 @@ func (j *sendJob) done() bool {
 // can be posted for very long sends", §6).
 func (l *LCP) startLong(p *simProc, st *lcpProcState, e sqEntry) {
 	l.stats.SendsLong++
+	l.m.sendsLong.Add(1)
 	p.Sleep(l.node.Prof.LCPLongSendSetup)
 	destNode, err := st.outPT.checkTransfer(e.dest, e.length)
 	if err != nil {
@@ -69,6 +70,7 @@ func (l *LCP) startLong(p *simProc, st *lcpProcState, e sqEntry) {
 		route:    route,
 		total:    e.length,
 	}
+	l.node.Eng.TraceBegin(l.comp, "lcp", "long_send")
 	l.stepJob(p)
 }
 
@@ -126,6 +128,7 @@ func (l *LCP) stepJob(p *simProc) {
 			if j.e.notify {
 				hdr.Flags |= flagNotify
 				l.stats.NotificationsRequested++
+				l.m.notifyRequested.Add(1)
 			}
 		}
 		payload := append(hdr.encode(), l.node.Board.SRAM.Bytes(c.sramOff, c.n)...)
@@ -133,10 +136,13 @@ func (l *LCP) stepJob(p *simProc) {
 		j.injOff += c.n
 		l.stats.PacketsOut++
 		l.stats.BytesOut += int64(c.n)
+		l.m.packetsOut.Add(1)
+		l.m.bytesOut.Add(int64(c.n))
 	}
 
 	if j.done() {
 		l.curJob = nil
+		l.node.Eng.TraceEnd(l.comp, "lcp", "long_send")
 	}
 }
 
@@ -163,11 +169,18 @@ func (l *LCP) startChunkDMA(p *simProc, j *sendJob) {
 
 	p.Sleep(prof.LCPTLBProbe)
 	frame, hit := j.st.tlb.Lookup(uint64(src.Page()))
+	if hit {
+		l.m.tlbHits.Add(1)
+	} else {
+		l.m.tlbMisses.Add(1)
+	}
 	if !hit {
 		// Interrupt the host; the driver inserts up to 32 translations
 		// and locks the pages (§4.5). The job stalls; receives may be
 		// processed meanwhile.
 		l.stats.TLBMissStalls++
+		l.m.tlbMissStalls.Add(1)
+		l.node.Eng.TraceInstant(l.comp, "lcp", "tlb_miss_stall")
 		j.tlbWait = true
 		pid := j.st.pid
 		l.node.Board.RaiseInterrupt(tlbMissIRQ{

@@ -2,6 +2,7 @@ package vmmc
 
 import (
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // handleRecv processes one arrived packet: drain it into SRAM staging,
@@ -15,26 +16,32 @@ import (
 // filtered through the optional link layer.
 func (l *LCP) handleRecv(p *simProc, item rxItem) {
 	board := l.node.Board
+	eng := l.node.Eng
 	pk := item.pk
+	eng.TraceBegin(l.comp, "lcp", "recv_packet")
+	defer eng.TraceEnd(l.comp, "lcp", "recv_packet")
 	p.Sleep(l.node.Prof.LCPRecvPacket)
 	l.stats.PacketsIn++
+	l.m.packetsIn.Add(1)
 
 	if !pk.CheckCRC() {
 		l.stats.CRCErrors++
+		l.m.crcErrors.Add(1)
+		eng.TraceInstant(l.comp, "lcp", "crc_error")
 		return
 	}
 	if len(item.data) < hdrSize {
-		l.stats.ProtectionViolations++
+		l.protViolation(eng)
 		return
 	}
 	hdr, err := decodeHeader(item.data)
 	if err != nil {
-		l.stats.ProtectionViolations++
+		l.protViolation(eng)
 		return
 	}
 	data := item.data[hdrSize:]
 	if int(hdr.DataLen) != len(data) || hdr.DataLen == 0 {
-		l.stats.ProtectionViolations++
+		l.protViolation(eng)
 		return
 	}
 
@@ -48,21 +55,21 @@ func (l *LCP) handleRecv(p *simProc, item rxItem) {
 		len1 = int(hdr.DataLen)
 	}
 	if len1 <= 0 || len1 > len(data) || len2 < 0 {
-		l.stats.ProtectionViolations++
+		l.protViolation(eng)
 		return
 	}
 
 	// Protection: every touched frame must be writable by incoming
 	// messages and the range must stay inside the exported extent.
 	if err := l.incoming.check(hdr.Addr1, len1); err != nil {
-		l.stats.ProtectionViolations++
-		l.node.Eng.Tracef("lcp%d: dropped packet: %v", l.node.ID, err)
+		l.protViolation(eng)
+		eng.Tracef("lcp%d: dropped packet: %v", l.node.ID, err)
 		return
 	}
 	if len2 > 0 {
 		if err := l.incoming.check(hdr.Addr2, len2); err != nil {
-			l.stats.ProtectionViolations++
-			l.node.Eng.Tracef("lcp%d: dropped packet: %v", l.node.ID, err)
+			l.protViolation(eng)
+			eng.Tracef("lcp%d: dropped packet: %v", l.node.ID, err)
 			return
 		}
 	}
@@ -106,6 +113,7 @@ func (l *LCP) handleRecv(p *simProc, item rxItem) {
 		}
 	}
 	l.stats.BytesIn += int64(hdr.DataLen)
+	l.m.bytesIn.Add(int64(hdr.DataLen))
 	l.node.MemActivity.Broadcast()
 
 	if hdr.Flags&flagNotify != 0 && hdr.Flags&flagLastChunk != 0 {
@@ -120,6 +128,14 @@ func (l *LCP) handleRecv(p *simProc, item rxItem) {
 			})
 		}
 	}
+}
+
+// protViolation counts a rejected packet (forged, malformed, or outside
+// the exported extent) in stats, metrics, and the trace.
+func (l *LCP) protViolation(eng *sim.Engine) {
+	l.stats.ProtectionViolations++
+	l.m.protViol.Add(1)
+	eng.TraceInstant(l.comp, "lcp", "protection_violation")
 }
 
 // incomingFrameOwner exposes incoming-table ownership for tests.

@@ -34,12 +34,28 @@
 //	    recv.SpinByte(p, buf, 'h') // data appears in recv's memory
 //	})
 //	c.Start()
+//
+// # Observability
+//
+// The engine owns a trace collector and a metrics registry
+// (internal/trace, re-exported here as TraceCollector, TraceEvent,
+// Metrics, and MetricsSnapshot). Counters — DMA utilization, SRAM
+// high-water marks, TLB hits and misses, per-link bytes — are always on;
+// arm Engine.Trace() with TraceCollector.Enable before Start to also
+// record spans and instants of everything the simulated hardware does.
+// Both export as deterministic JSON (trace.WriteChromeTrace,
+// MetricsSnapshot.WriteJSON): timestamps are virtual, so identical runs
+// produce byte-identical artifacts. See docs/OBSERVABILITY.md and the
+// -trace/-metrics flags of cmd/vmmcbench.
 package vmmcnet
 
 import (
+	"io"
+
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vmmc"
 )
 
@@ -72,7 +88,29 @@ type (
 	VirtAddr = mem.VirtAddr
 	// Profile holds the platform timing constants.
 	Profile = hw.Profile
+
+	// TraceCollector buffers structured trace events; obtain the engine's
+	// with Engine.Trace() and arm it with Enable.
+	TraceCollector = trace.Collector
+	// TraceEvent is one trace record: virtual timestamp, phase
+	// (span begin/end, instant, counter sample), component, category,
+	// name, and value.
+	TraceEvent = trace.Event
+	// Metrics is the registry of named counters, gauges, and
+	// utilizations; obtain the engine's with Engine.Metrics().
+	Metrics = trace.Registry
+	// MetricsSnapshot is a point-in-time, name-sorted copy of every
+	// metric; obtain one with Engine.MetricsSnapshot() and serialize it
+	// with WriteJSON.
+	MetricsSnapshot = trace.Snapshot
 )
+
+// WriteChromeTrace writes trace events in the Chrome trace_event JSON
+// format, loadable in chrome://tracing and Perfetto. Pass
+// Engine.Trace().Events() and Engine.Trace().Dropped().
+func WriteChromeTrace(w io.Writer, events []TraceEvent, dropped int64) error {
+	return trace.WriteChromeTrace(w, events, dropped)
+}
 
 // PageSize is the platform page size (4 KB).
 const PageSize = mem.PageSize
