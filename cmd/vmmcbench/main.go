@@ -9,7 +9,7 @@
 //	vmmcbench -experiment headline -trace t.json -metrics m.json
 //
 // Experiment ids: headline, fig1, fig2, fig3, fig4, tabhw, tabvrpc,
-// tabshrimp, tabrelated, extensions, ablations.
+// tabshrimp, tabrelated, extensions, ablations, faultsweep.
 //
 // With -trace, each run records structured events over virtual time and
 // writes a Chrome trace_event JSON file (open in chrome://tracing or
@@ -137,6 +137,14 @@ var experiments = []experiment{
 			}
 			printTable(t)
 		}
+		return nil
+	}},
+	{"faultsweep", "robustness: goodput vs injected wire error rate, reliability off/on", func() error {
+		t, err := bench.FaultSweep()
+		if err != nil {
+			return err
+		}
+		printTable(t)
 		return nil
 	}},
 }

@@ -138,3 +138,50 @@ func TestTLBMetricsMatchDriver(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// runFaultedObserved runs one reliable fault-sweep cell (fixed seed,
+// heavy corruption) with artifact capture and returns the artifact bytes.
+func runFaultedObserved(t *testing.T, tracePath, metricsPath string) (traceJSON, metricsJSON []byte) {
+	t.Helper()
+	SetObservability(Observability{TracePath: tracePath, MetricsPath: metricsPath})
+	defer SetObservability(Observability{})
+	if _, err := faultSweepCase(true, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	traceJSON, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsJSON, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traceJSON, metricsJSON
+}
+
+// TestFaultedArtifactsDeterministic extends the determinism guarantee to
+// faulted runs: the fault plan's seeded RNG is the only randomness, so a
+// run with hundreds of injected corruptions and retransmissions must
+// still produce byte-identical artifacts, corruption counters included.
+func TestFaultedArtifactsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	t1, m1 := runFaultedObserved(t, filepath.Join(dir, "ft1.json"), filepath.Join(dir, "fm1.json"))
+	t2, m2 := runFaultedObserved(t, filepath.Join(dir, "ft2.json"), filepath.Join(dir, "fm2.json"))
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace artifacts differ between identically seeded faulted runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics artifacts differ between identically seeded faulted runs")
+	}
+	for _, want := range []string{
+		"fault/corruptions",
+		"lanai0/rl_retransmits",
+	} {
+		if !strings.Contains(string(m1), `"`+want+`"`) {
+			t.Errorf("faulted metrics artifact is missing %q", want)
+		}
+	}
+	if !strings.Contains(string(t1), "corrupt_packet") {
+		t.Error("faulted trace artifact records no corruption events")
+	}
+}

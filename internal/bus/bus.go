@@ -105,6 +105,8 @@ func (d *DMAEngine) SetProfile(p hw.DMAProfile) { d.profile = p }
 func (d *DMAEngine) Transfer(p *sim.Proc, n int) {
 	cost := d.profile.Cost(n)
 	d.res.Acquire(p)
+	// Deferred so a kill-unwind mid-transfer frees the engine.
+	defer d.res.Release(p)
 	d.eng.TraceBegin("dma:"+d.name, "dma", "transfer")
 	if d.bus != nil {
 		d.bus.Use(p, cost)
@@ -112,7 +114,6 @@ func (d *DMAEngine) Transfer(p *sim.Proc, n int) {
 		p.Sleep(cost)
 	}
 	d.eng.TraceEnd("dma:"+d.name, "dma", "transfer")
-	d.res.Release(p)
 	d.account(n)
 }
 
@@ -123,6 +124,7 @@ func (d *DMAEngine) Transfer(p *sim.Proc, n int) {
 func (d *DMAEngine) TransferWith(p *sim.Proc, n int, prof hw.DMAProfile) {
 	cost := prof.Cost(n)
 	d.res.Acquire(p)
+	defer d.res.Release(p)
 	if d.haveLast && d.lastProfile != prof && d.turnaround > 0 {
 		cost += d.turnaround
 		d.turnarounds++
@@ -137,7 +139,6 @@ func (d *DMAEngine) TransferWith(p *sim.Proc, n int, prof hw.DMAProfile) {
 		p.Sleep(cost)
 	}
 	d.eng.TraceEnd("dma:"+d.name, "dma", "transfer")
-	d.res.Release(p)
 	d.account(n)
 }
 

@@ -8,7 +8,9 @@ package ether
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Message is one Ethernet datagram between daemons.
@@ -26,6 +28,9 @@ type Bus struct {
 	medium  *sim.Resource
 	boxes   map[int]*sim.Queue[Message]
 	sent    int64
+	dropped int64
+	faults  *fault.Plan
+	mDrops  *trace.Counter
 }
 
 // New returns a bus with the given one-way delivery latency.
@@ -35,8 +40,12 @@ func New(eng *sim.Engine, latency sim.Time) *Bus {
 		latency: latency,
 		medium:  sim.NewResource(eng, "ether"),
 		boxes:   make(map[int]*sim.Queue[Message]),
+		mDrops:  eng.Metrics().Counter("ether/messages_dropped"),
 	}
 }
+
+// SetFaults attaches a fault plan; nil detaches it.
+func (b *Bus) SetFaults(pl *fault.Plan) { b.faults = pl }
 
 // Register creates (or returns) node's mailbox.
 func (b *Bus) Register(node int) *sim.Queue[Message] {
@@ -58,9 +67,18 @@ func (b *Bus) Send(p *sim.Proc, from, to int, kind string, body any) {
 	}
 	b.medium.Use(p, b.latency/10)
 	b.sent++
+	if b.faults.DropMessage() {
+		b.dropped++
+		b.mDrops.Add(1)
+		b.eng.Tracef("ether: dropped %s %d->%d", kind, from, to)
+		return
+	}
 	m := Message{From: from, To: to, Kind: kind, Body: body}
-	b.eng.After(b.latency, func() { box.Put(m) })
+	b.eng.After(b.latency+b.faults.ExtraDelay(), func() { box.Put(m) })
 }
 
 // Sent reports the number of messages transmitted.
 func (b *Bus) Sent() int64 { return b.sent }
+
+// Dropped reports the number of messages lost to injected faults.
+func (b *Bus) Dropped() int64 { return b.dropped }

@@ -38,6 +38,9 @@ type Board struct {
 	// nil (the paper's configuration) means CRC errors are detected but
 	// never recovered (§4.2).
 	reliable *ReliableLink
+	// onUnreachable fires when the reliability layer exhausts a
+	// destination's retransmit budget; the route identifies the peer.
+	onUnreachable func(route []byte)
 
 	interrupts  int64
 	mInterrupts *trace.Counter
@@ -149,15 +152,22 @@ func PhysLast(pa mem.PhysAddr, n int) mem.PhysAddr {
 // SendPacket injects payload along route. The net-send DMA engine feeds
 // the link directly, so wire serialization is charged once (inside the NIC
 // injection) plus the engine's start cost. With the optional reliability
-// layer enabled, the packet goes through its send window instead.
-func (b *Board) SendPacket(p *sim.Proc, route []byte, payload []byte) {
+// layer enabled, the packet goes through its send window instead, and the
+// call can fail with ErrPeerUnreachable when the destination's retransmit
+// budget is exhausted. Without the layer, sends never fail: the paper's
+// configuration fires and forgets (§4.2).
+func (b *Board) SendPacket(p *sim.Proc, route []byte, payload []byte) error {
 	if b.reliable != nil {
-		b.reliable.send(p, route, payload)
-		return
+		return b.reliable.send(p, route, payload)
 	}
 	b.NetSend.TransferWith(p, 0, b.Prof.NetSend) // engine start only
 	b.NIC.Send(p, route, payload)
+	return nil
 }
+
+// SetUnreachableHandler registers the callback invoked when the
+// reliability layer declares a destination unreachable.
+func (b *Board) SetUnreachableHandler(fn func(route []byte)) { b.onUnreachable = fn }
 
 // Receive drains packets from the wire until one is deliverable upward and
 // returns its payload bytes (after link-layer filtering when reliability

@@ -2,11 +2,20 @@ package lanai
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/myrinet"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// ErrPeerUnreachable is returned by reliable sends when the retransmit
+// budget for a destination is exhausted without an acknowledgement: the
+// peer is crashed, its link is dead, or the path is partitioned. The
+// window state toward that peer is discarded, so a later send (after
+// repair) starts a fresh conversation at sequence zero.
+var ErrPeerUnreachable = errors.New("lanai: peer unreachable, retransmit budget exhausted")
 
 // Reliable data-link layer — the future-work extension of the paper's
 // research line (realized in VMMC-2 as "reliable communication at the data
@@ -24,7 +33,13 @@ import (
 //     reversed ingress route; anything else — CRC damage, or the gap an
 //     earlier CRC drop leaves — is discarded;
 //   - a timer retransmits the whole unacknowledged window when the oldest
-//     packet outlives the timeout;
+//     packet outlives the timeout; the timeout adapts to the measured
+//     round-trip time (Karn's rule: retransmitted packets never produce
+//     RTT samples) and backs off exponentially across retransmit rounds;
+//   - after MaxRetries rounds with no acknowledgement the destination is
+//     declared unreachable: the window state is dropped and pending and
+//     future sends fail with ErrPeerUnreachable instead of retrying
+//     forever;
 //   - senders stall when the window fills, bounding SRAM use.
 type ReliableLink struct {
 	board *Board
@@ -47,6 +62,9 @@ type ReliableLink struct {
 	WindowStalls int64
 	Deliveries   int64
 	CorruptDrops int64
+	Unreachables int64
+
+	mRetx, mUnreachable *trace.Counter
 }
 
 // ReliabilityConfig tunes the link layer.
@@ -56,9 +74,17 @@ type ReliabilityConfig struct {
 	// AckEvery acknowledges every k-th in-sequence packet (the last one
 	// of a burst is always acknowledged via the timeout path).
 	AckEvery int
-	// RetransmitTimeout fires a window retransmission when the oldest
-	// unacked packet is this old.
+	// RetransmitTimeout is the initial retransmission timeout, used until
+	// the first round-trip sample; afterwards the timeout adapts
+	// (srtt + 4*rttvar, clamped to [MinRTO, MaxRTO]).
 	RetransmitTimeout sim.Time
+	// MinRTO and MaxRTO clamp the adaptive timeout. MaxRTO also caps the
+	// exponential backoff between retransmit rounds.
+	MinRTO, MaxRTO sim.Time
+	// MaxRetries is the retransmit budget: after this many timer-driven
+	// rounds with no acknowledgement the destination is declared
+	// unreachable and sends toward it fail with ErrPeerUnreachable.
+	MaxRetries int
 	// PerPacketCost is the LANai software cost of the link-layer
 	// bookkeeping on each side — the overhead §4.2 declined to pay.
 	PerPacketCost sim.Time
@@ -70,6 +96,9 @@ func DefaultReliability() ReliabilityConfig {
 		Window:            32,
 		AckEvery:          4,
 		RetransmitTimeout: 200 * sim.Microsecond,
+		MinRTO:            100 * sim.Microsecond,
+		MaxRTO:            2 * sim.Millisecond,
+		MaxRetries:        8,
 		PerPacketCost:     sim.Micros(0.5),
 	}
 }
@@ -80,11 +109,24 @@ type txState struct {
 	// unacked[0] is the oldest in-flight packet.
 	unacked []bufferedPacket
 	timer   *sim.Event
+
+	// Adaptive timeout state (Jacobson smoothing, Karn sampling).
+	srtt, rttvar sim.Time
+	// Consecutive timer-driven retransmit rounds with no ack progress;
+	// each round doubles the effective timeout up to MaxRTO.
+	retries int
+	// dead marks a window whose retransmit budget was exhausted; pending
+	// senders wake and fail, and the state is dropped from the tx map.
+	dead bool
 }
 
 type bufferedPacket struct {
 	seq     uint32
 	payload []byte
+	sentAt  sim.Time
+	// retx marks a packet that has been retransmitted: its ack no longer
+	// yields a usable RTT sample (Karn's rule).
+	retx bool
 }
 
 // Link-layer packet types.
@@ -101,18 +143,31 @@ func (b *Board) EnableReliability(cfg ReliabilityConfig) (*ReliableLink, error) 
 	if cfg.Window <= 0 || cfg.AckEvery <= 0 {
 		return nil, fmt.Errorf("lanai: bad reliability config %+v", cfg)
 	}
+	// Older configs predate the adaptive timeout; fill the gaps.
+	if cfg.MinRTO <= 0 {
+		cfg.MinRTO = cfg.RetransmitTimeout / 2
+	}
+	if cfg.MaxRTO <= 0 {
+		cfg.MaxRTO = 10 * cfg.RetransmitTimeout
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
 	// Window buffers: assume page-sized packets plus headers.
 	off, err := b.SRAM.Alloc(cfg.Window*(4096+64), "retransmit-window")
 	if err != nil {
 		return nil, err
 	}
+	comp := fmt.Sprintf("lanai%d", b.NIC.ID)
 	rl := &ReliableLink{
-		board:      b,
-		cfg:        cfg,
-		tx:         make(map[int]*txState),
-		rxExpected: make(map[int]uint32),
-		windowFree: sim.NewCond(b.Eng),
-		sramOff:    off,
+		board:        b,
+		cfg:          cfg,
+		tx:           make(map[int]*txState),
+		rxExpected:   make(map[int]uint32),
+		windowFree:   sim.NewCond(b.Eng),
+		sramOff:      off,
+		mRetx:        b.Eng.Metrics().Counter(comp + "/rl_retransmits"),
+		mUnreachable: b.Eng.Metrics().Counter(comp + "/rl_unreachable"),
 	}
 	b.reliable = rl
 	return rl, nil
@@ -136,8 +191,9 @@ func wrapLink(typ byte, sender int, seq uint32, winKey uint32, payload []byte) [
 }
 
 // send transmits payload reliably along route to the destination NIC.
-// It blocks while the window is full.
-func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) {
+// It blocks while the window is full and fails with ErrPeerUnreachable
+// when the destination's retransmit budget is exhausted while waiting.
+func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) error {
 	dst := rl.destOf(route)
 	st, ok := rl.tx[dst]
 	if !ok {
@@ -147,6 +203,12 @@ func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) {
 	for len(st.unacked) >= rl.cfg.Window {
 		rl.WindowStalls++
 		rl.windowFree.Wait(p)
+		if st.dead {
+			return ErrPeerUnreachable
+		}
+	}
+	if st.dead {
+		return ErrPeerUnreachable
 	}
 	p.Sleep(rl.cfg.PerPacketCost)
 	seq := st.nextSeq
@@ -154,11 +216,13 @@ func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) {
 	st.unacked = append(st.unacked, bufferedPacket{
 		seq:     seq,
 		payload: append([]byte(nil), payload...),
+		sentAt:  p.Now(),
 	})
 	rl.armTimer(st)
 	rl.PayloadBytes += int64(len(payload))
 	rl.board.NetSend.TransferWith(p, 0, rl.board.Prof.NetSend)
 	rl.board.NIC.Send(p, route, wrapLink(linkData, rl.board.NIC.ID, seq, uint32(dst), payload))
+	return nil
 }
 
 // destOf resolves the destination NIC of a route for window bookkeeping.
@@ -173,31 +237,84 @@ func (rl *ReliableLink) destOf(route []byte) int {
 	return h
 }
 
+// rto is the current retransmission timeout for one destination: the
+// initial configured value until the first RTT sample, then
+// srtt + 4*rttvar, clamped, then doubled per fruitless retransmit round.
+func (rl *ReliableLink) rto(st *txState) sim.Time {
+	t := rl.cfg.RetransmitTimeout
+	if st.srtt > 0 {
+		t = st.srtt + 4*st.rttvar
+		if t < rl.cfg.MinRTO {
+			t = rl.cfg.MinRTO
+		}
+	}
+	for i := 0; i < st.retries && t < rl.cfg.MaxRTO; i++ {
+		t *= 2
+	}
+	if t > rl.cfg.MaxRTO {
+		t = rl.cfg.MaxRTO
+	}
+	return t
+}
+
 func (rl *ReliableLink) armTimer(st *txState) {
-	if st.timer != nil || len(st.unacked) == 0 {
+	if st.timer != nil || len(st.unacked) == 0 || st.dead {
 		return
 	}
-	st.timer = rl.board.Eng.After(rl.cfg.RetransmitTimeout, func() {
+	st.timer = rl.board.Eng.After(rl.rto(st), func() {
 		st.timer = nil
 		rl.retransmit(st)
 	})
 }
 
-// retransmit resends the whole unacknowledged window (go-back-N).
+// retransmit resends the whole unacknowledged window (go-back-N). Each
+// timer-driven round consumes one unit of the retransmit budget; the
+// budget resets whenever an ack makes progress.
 func (rl *ReliableLink) retransmit(st *txState) {
-	if len(st.unacked) == 0 {
+	if len(st.unacked) == 0 || st.dead {
 		return
 	}
+	if st.retries >= rl.cfg.MaxRetries {
+		rl.declareUnreachable(st)
+		return
+	}
+	st.retries++
 	rl.board.Eng.Go(fmt.Sprintf("lanai%d:retx", rl.board.NIC.ID), func(p *sim.Proc) {
 		key := uint32(rl.destOf(st.route))
-		for _, bp := range st.unacked {
+		// Snapshot: acks arriving during the resend sleeps trim the live
+		// window; the backing array keeps the snapshot elements valid.
+		win := st.unacked
+		for i := range win {
+			bp := &win[i]
+			bp.retx = true
 			rl.Retransmits++
+			rl.mRetx.Add(1)
 			p.Sleep(rl.cfg.PerPacketCost)
 			rl.board.NetSend.TransferWith(p, 0, rl.board.Prof.NetSend)
 			rl.board.NIC.Send(p, st.route, wrapLink(linkData, rl.board.NIC.ID, bp.seq, key, bp.payload))
 		}
 		rl.armTimer(st)
 	})
+}
+
+// declareUnreachable gives up on a destination: the window state is
+// discarded (a post-repair send restarts at sequence zero) and every
+// sender parked on the full window wakes up to fail.
+func (rl *ReliableLink) declareUnreachable(st *txState) {
+	st.dead = true
+	st.unacked = nil
+	if st.timer != nil {
+		st.timer.Cancel()
+		st.timer = nil
+	}
+	delete(rl.tx, rl.destOf(st.route))
+	rl.Unreachables++
+	rl.mUnreachable.Add(1)
+	rl.board.Eng.TraceInstant(fmt.Sprintf("lanai%d", rl.board.NIC.ID), "rl", "peer_unreachable")
+	rl.windowFree.Broadcast()
+	if rl.board.onUnreachable != nil {
+		rl.board.onUnreachable(st.route)
+	}
 }
 
 // handleAck processes a cumulative acknowledgement for packets < ackSeq in
@@ -209,10 +326,16 @@ func (rl *ReliableLink) handleAck(winKey int, ackSeq uint32) {
 	}
 	trimmed := false
 	for len(st.unacked) > 0 && st.unacked[0].seq < ackSeq {
+		bp := st.unacked[0]
 		st.unacked = st.unacked[1:]
 		trimmed = true
+		// Karn's rule: only never-retransmitted packets sample the RTT.
+		if !bp.retx {
+			rl.sampleRTT(st, rl.board.Eng.Now()-bp.sentAt)
+		}
 	}
 	if trimmed {
+		st.retries = 0
 		if st.timer != nil {
 			st.timer.Cancel()
 			st.timer = nil
@@ -220,6 +343,59 @@ func (rl *ReliableLink) handleAck(winKey int, ackSeq uint32) {
 		rl.armTimer(st)
 		rl.windowFree.Broadcast()
 	}
+}
+
+// sampleRTT folds one round-trip sample into the Jacobson estimator.
+func (rl *ReliableLink) sampleRTT(st *txState, rtt sim.Time) {
+	if rtt <= 0 {
+		return
+	}
+	if st.srtt == 0 {
+		st.srtt = rtt
+		st.rttvar = rtt / 2
+		return
+	}
+	dev := st.srtt - rtt
+	if dev < 0 {
+		dev = -dev
+	}
+	st.rttvar = (3*st.rttvar + dev) / 4
+	st.srtt = (7*st.srtt + rtt) / 8
+}
+
+// Reset discards all link-layer state — windows, timers, receive
+// sequencing — as a crashed-and-restarted node's board does. Parked
+// senders are woken (their windows read as dead).
+func (rl *ReliableLink) Reset() {
+	for key, st := range rl.tx {
+		st.dead = true
+		st.unacked = nil
+		if st.timer != nil {
+			st.timer.Cancel()
+			st.timer = nil
+		}
+		delete(rl.tx, key)
+	}
+	rl.rxExpected = make(map[int]uint32)
+	rl.windowFree.Broadcast()
+}
+
+// ResetPeer forgets the conversation with one peer: the transmit window
+// toward route and the receive sequencing from NIC nic. Surviving nodes
+// call this when a peer restarts, so its fresh sequence numbers are
+// accepted (the restart announcement of a real implementation).
+func (rl *ReliableLink) ResetPeer(route []byte, nic int) {
+	if st, ok := rl.tx[rl.destOf(route)]; ok {
+		st.dead = true
+		st.unacked = nil
+		if st.timer != nil {
+			st.timer.Cancel()
+			st.timer = nil
+		}
+		delete(rl.tx, rl.destOf(route))
+		rl.windowFree.Broadcast()
+	}
+	delete(rl.rxExpected, nic)
 }
 
 // receive filters one raw packet through the link layer. It returns the

@@ -178,6 +178,14 @@ func (pm *Physical) Unpin(frame int) {
 // Pinned reports whether the frame has a nonzero pin count.
 func (pm *Physical) Pinned(frame int) bool { return pm.pins[frame] > 0 }
 
+// ResetPins clears every pin count — crash semantics: a rebooted node's
+// OS holds no locked pages, whatever the dead software pinned.
+func (pm *Physical) ResetPins() {
+	for i := range pm.pins {
+		pm.pins[i] = 0
+	}
+}
+
 // Read copies len(buf) bytes starting at pa into buf. The range may cross
 // frame boundaries; physical memory is contiguous.
 func (pm *Physical) Read(pa PhysAddr, buf []byte) error {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
@@ -172,7 +173,9 @@ func TestInjectionSerializationTime(t *testing.T) {
 func TestBitErrorInjectionBreaksCRC(t *testing.T) {
 	e, n := star4(t)
 	nics := n.NICs()
-	n.InjectBitError(1)
+	pl := fault.NewPlan(e, 1)
+	n.SetFaults(pl)
+	pl.CorruptNextOn(nics[0].ID, 1)
 	var bad, good *Packet
 	e.Go("recv", func(p *sim.Proc) {
 		bad = nics[1].RX.Get(p)

@@ -3,6 +3,7 @@ package myrinet
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -70,6 +71,10 @@ type NIC struct {
 	// responder during boot) consumes it.
 	RX *sim.Queue[*Packet]
 
+	// down marks the NIC dead (its node crashed): it neither injects nor
+	// accepts deliveries until SetDown(false).
+	down bool
+
 	injected  int64
 	delivered int64
 
@@ -91,13 +96,28 @@ type Network struct {
 
 	dropped     int64
 	lastDrop    string
-	corruptNext int // pending bit-error injections
+	corruptNext int // pending bit-error injections (deprecated shim)
+
+	faults *fault.Plan
+	mDrops *trace.Counter
 }
 
 // New returns an empty fabric.
 func New(eng *sim.Engine, prof hw.Profile) *Network {
-	return &Network{eng: eng, prof: prof}
+	return &Network{
+		eng:    eng,
+		prof:   prof,
+		mDrops: eng.Metrics().Counter("net/packets_dropped"),
+	}
 }
+
+// SetFaults attaches a fault plan: per-link bit errors and bursts, and
+// link/switch outages, all consulted on the packet path. A nil plan means
+// a clean fabric.
+func (n *Network) SetFaults(pl *fault.Plan) { n.faults = pl }
+
+// Faults returns the attached fault plan, nil when the fabric is clean.
+func (n *Network) Faults() *fault.Plan { return n.faults }
 
 // Engine returns the simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
@@ -161,9 +181,21 @@ func (n *Network) ConnectSwitches(a *Switch, ap int, b *Switch, bp int) error {
 }
 
 // InjectBitError corrupts the payload of the next k injected packets after
-// their CRC is computed, so the receiver's CRC check fails. Used by fault
-// tests (§4.2: errors are detected but not recovered).
+// their CRC is computed, so the receiver's CRC check fails (§4.2: errors
+// are detected but not recovered).
+//
+// Deprecated: the counter is global — it corrupts whichever NIC injects
+// next, acks and probes included. Attach a fault.Plan with SetFaults and
+// use Plan.CorruptNextOn (per link) or Plan.SetLinkBER (rate-based)
+// instead. The shim remains so existing tests keep their exact semantics.
 func (n *Network) InjectBitError(k int) { n.corruptNext += k }
+
+// SetDown marks the NIC dead or alive. A dead NIC's injections and
+// deliveries drop and count; the cluster uses this for node crashes.
+func (nic *NIC) SetDown(down bool) { nic.down = down }
+
+// Down reports whether the NIC is marked dead.
+func (nic *NIC) Down() bool { return nic.down }
 
 // Dropped reports how many packets died on invalid routes, and the last
 // drop's reason.
@@ -186,6 +218,10 @@ func (n *Network) walk(nic *NIC, route []byte) (dst *NIC, hops int, ingress []by
 		case kindSwitch:
 			if i >= len(route) {
 				return nil, hops, ingress, fmt.Sprintf("route exhausted inside switch %d", cur.id)
+			}
+			if n.faults.SwitchDown(cur.id) {
+				n.faults.NoteSwitchDrop()
+				return nil, hops, ingress, fmt.Sprintf("switch %d down", cur.id)
 			}
 			sw := n.switches[cur.id]
 			ingress = append(ingress, byte(cur.port))
@@ -216,13 +252,20 @@ func (nic *NIC) Send(p *sim.Proc, route []byte, payload []byte) {
 		Src:     nic.ID,
 	}
 	pk.CRC = CRC8(pk.Payload)
-	if nic.net.corruptNext > 0 && len(pk.Payload) > 0 {
-		nic.net.corruptNext--
-		pk.Payload[len(pk.Payload)/2] ^= 0x10
-	}
 
 	n := nic.net
 	wire := wireBytes(pk)
+	// Bit errors on the injecting end of the cable: the deprecated global
+	// burst first (exact legacy semantics), then the per-link fault plan.
+	if len(pk.Payload) > 0 {
+		if n.corruptNext > 0 {
+			n.corruptNext--
+			pk.Payload[len(pk.Payload)/2] ^= 0x10
+		} else if n.faults.CorruptWire(nic.ID, wire, true) {
+			pk.Payload[len(pk.Payload)/2] ^= 0x10
+		}
+	}
+
 	cost := n.prof.LinkFlitCost +
 		sim.Time(float64(wire)/n.prof.LinkRate*float64(sim.Second))
 	nic.tx.Use(p, cost)
@@ -230,13 +273,33 @@ func (nic *NIC) Send(p *sim.Proc, route []byte, payload []byte) {
 	nic.mPktsOut.Add(1)
 	nic.mBytesOut.Add(int64(wire))
 
+	// A dead source link kills the packet right after serialization.
+	if nic.down || n.faults.LinkDown(nic.ID) {
+		if !nic.down {
+			n.faults.NoteLinkDrop()
+		}
+		n.drop(nic, fmt.Sprintf("link at NIC %d down", nic.ID))
+		return
+	}
+
 	dst, hops, ingress, reason := n.walk(nic, pk.Route)
 	if dst == nil {
-		n.dropped++
-		n.lastDrop = reason
-		n.eng.Tracef("myrinet: packet from NIC %d dropped: %s", nic.ID, reason)
-		n.eng.TraceInstant(fmt.Sprintf("nic%d", nic.ID), "net", "packet_dropped")
+		n.drop(nic, reason)
 		return
+	}
+	// A dead destination link (outage or crashed node) eats the packet at
+	// the last hop.
+	if dst.down || n.faults.LinkDown(dst.ID) {
+		if !dst.down {
+			n.faults.NoteLinkDrop()
+		}
+		n.drop(nic, fmt.Sprintf("link at NIC %d down", dst.ID))
+		return
+	}
+	// Bit errors on the receiving end of the cable. A different byte and
+	// mask than the tx end, so double corruption cannot cancel out.
+	if len(pk.Payload) > 0 && n.faults.CorruptWire(dst.ID, wire, false) {
+		pk.Payload[len(pk.Payload)/3] ^= 0x04
 	}
 	pk.Ingress = ingress
 	n.eng.After(sim.Time(hops)*n.prof.SwitchLatency, func() {
@@ -245,6 +308,15 @@ func (nic *NIC) Send(p *sim.Proc, route []byte, payload []byte) {
 		dst.mBytesIn.Add(int64(wire))
 		dst.RX.Put(pk)
 	})
+}
+
+// drop records a packet death with its reason in stats, metrics and trace.
+func (n *Network) drop(nic *NIC, reason string) {
+	n.dropped++
+	n.lastDrop = reason
+	n.mDrops.Add(1)
+	n.eng.Tracef("myrinet: packet from NIC %d dropped: %s", nic.ID, reason)
+	n.eng.TraceInstant(fmt.Sprintf("nic%d", nic.ID), "net", "packet_dropped")
 }
 
 // Stats reports packets injected by and delivered to this NIC.

@@ -3,6 +3,7 @@ package myrinet
 import (
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
@@ -150,6 +151,8 @@ func TestCRCStormDoesNotWedgeTheSystem(t *testing.T) {
 	if err := n.AttachNIC(b, sw, 1); err != nil {
 		t.Fatal(err)
 	}
+	pl := fault.NewPlan(e, 1)
+	n.SetFaults(pl)
 	corrupted, clean := 0, 0
 	e.Go("recv", func(p *sim.Proc) {
 		for i := 0; i < 20; i++ {
@@ -165,7 +168,7 @@ func TestCRCStormDoesNotWedgeTheSystem(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			a.Send(p, []byte{1}, []byte{byte(i)})
 		}
-		n.InjectBitError(10)
+		pl.CorruptNextOn(a.ID, 10)
 		for i := 5; i < 15; i++ {
 			a.Send(p, []byte{1}, []byte{byte(i)})
 		}
@@ -217,5 +220,44 @@ func TestNICStats(t *testing.T) {
 	dropped, reason := n.Dropped()
 	if dropped != 1 || reason == "" {
 		t.Errorf("dropped = %d (%q)", dropped, reason)
+	}
+}
+
+func TestMappingSurvivesLossyLink(t *testing.T) {
+	// Host 2's cable corrupts every packet: its probes and the probes sent
+	// to it all fail CRC at the receiving end. Mapping must still
+	// terminate — probe timeouts, not hangs — and produce the partial map
+	// covering the healthy hosts.
+	e := sim.NewEngine()
+	n := New(e, hw.Default())
+	pl := fault.NewPlan(e, 7)
+	n.SetFaults(pl)
+	sw := n.AddSwitch(8)
+	for i := 0; i < 3; i++ {
+		nic := n.AddNIC()
+		if err := n.AttachNIC(nic, sw, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl.SetLinkBER(n.NICs()[2].ID, 1.0)
+
+	m := StartMapping(n, 2, 20*sim.Microsecond)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tables := m.Tables()
+	if _, ok := tables[0][1]; !ok {
+		t.Error("healthy route 0->1 missing")
+	}
+	if _, ok := tables[1][0]; !ok {
+		t.Error("healthy route 1->0 missing")
+	}
+	for _, pair := range [][2]int{{0, 2}, {1, 2}, {2, 0}, {2, 1}} {
+		if _, ok := tables[pair[0]][pair[1]]; ok {
+			t.Errorf("route %d->%d discovered across the lossy link", pair[0], pair[1])
+		}
+	}
+	if pl.Stats().Corruptions == 0 {
+		t.Error("no corruptions injected on the lossy link")
 	}
 }

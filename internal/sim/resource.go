@@ -96,11 +96,14 @@ func holderName(p *Proc) string {
 }
 
 // Use acquires the resource, holds it for duration d, and releases it.
-// This is the common pattern for charging bus or engine occupancy.
+// This is the common pattern for charging bus or engine occupancy. The
+// release is deferred so that a process killed mid-hold (a crashing
+// node's LCP, say) still frees the resource on its unwind instead of
+// wedging every later contender.
 func (r *Resource) Use(p *Proc, d Time) {
 	r.Acquire(p)
+	defer r.Release(p)
 	p.Sleep(d)
-	r.Release(p)
 }
 
 // Busy reports whether the resource is currently held.

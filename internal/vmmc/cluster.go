@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ether"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/lanai"
 	"repro/internal/myrinet"
@@ -40,6 +41,10 @@ type Options struct {
 	// The paper's configuration is false: CRC errors are detected but
 	// never recovered (§4.2).
 	Reliable bool
+	// Faults attaches a deterministic fault plan to the fabric, the
+	// Ethernet side channel, and the nodes (scheduled crash/restart).
+	// See internal/fault and docs/ROBUSTNESS.md.
+	Faults *fault.Plan
 }
 
 // hostsPerSwitch leaves two ports per 8-port switch for trunking.
@@ -105,7 +110,48 @@ func NewCluster(eng *sim.Engine, opts Options) (*Cluster, error) {
 		}
 		c.Nodes = append(c.Nodes, node)
 	}
+	if opts.Faults != nil {
+		c.Net.SetFaults(opts.Faults)
+		c.Ether.SetFaults(opts.Faults)
+		opts.Faults.OnNodeCrash(func(node int) { c.CrashNode(node) })
+		opts.Faults.OnNodeRestart(func(node int) {
+			if err := c.RestartNode(node); err != nil {
+				panic(fmt.Sprintf("vmmc: restart node %d: %v", node, err))
+			}
+		})
+	}
 	return c, nil
+}
+
+// CrashNode kills a node abruptly: its link goes dark, its LCP and daemon
+// die, all its page pins vanish, and its process handles turn stale. The
+// rest of the cluster keeps running; reliable senders toward the dead node
+// exhaust their retransmit budget and surface ErrNodeUnreachable, while
+// the paper's unreliable configuration silently loses the packets.
+func (c *Cluster) CrashNode(node int) {
+	c.Nodes[node].crash()
+}
+
+// RestartNode reboots a crashed node with a fresh LCP and daemon. Peers'
+// reliable link state toward it is reset (the restart announcement), so
+// the fresh sequence numbers are accepted. Pre-crash exports are gone;
+// importers must re-import.
+func (c *Cluster) RestartNode(node int) error {
+	n := c.Nodes[node]
+	if err := n.restart(); err != nil {
+		return err
+	}
+	for _, peer := range c.Nodes {
+		if peer == n || peer.crashed {
+			continue
+		}
+		if rl := peer.Board.Reliable(); rl != nil {
+			if route, ok := peer.LCP.routes[n.ID]; ok {
+				rl.ResetPeer(route, n.Board.NIC.ID)
+			}
+		}
+	}
+	return nil
 }
 
 // Boot schedules the boot sequence; it completes as the simulation runs.

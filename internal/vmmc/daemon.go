@@ -24,8 +24,23 @@ type Daemon struct {
 	nextReq int
 	waiting map[int]*importWait
 
+	// served caches import replies by requester so a retransmitted
+	// request (its reply was lost on the Ethernet) is answered
+	// idempotently instead of double-counting the importer.
+	served map[servedKey]importRep
+
+	// proc is the service loop, killed when the node crashes.
+	proc *simProc
+
 	exportsServed int64
 	importsServed int64
+	importRetries int64
+}
+
+// servedKey identifies one import request cluster-wide.
+type servedKey struct {
+	node  int
+	reqID int
 }
 
 type exportInfo struct {
@@ -71,6 +86,15 @@ type importWait struct {
 
 const daemonIPCCost = 30 * sim.Microsecond // local process <-> daemon round trip
 
+// Import handshake recovery over the (possibly lossy) Ethernet: the first
+// retransmission after importBaseTimeout, each following wait doubled up to
+// importMaxTimeout, importMaxRetries retransmissions before giving up.
+const (
+	importBaseTimeout = 3 * sim.Millisecond
+	importMaxTimeout  = 24 * sim.Millisecond
+	importMaxRetries  = 4
+)
+
 func newDaemon(n *Node, eth *ether.Bus) *Daemon {
 	return &Daemon{
 		node:    n,
@@ -78,12 +102,13 @@ func newDaemon(n *Node, eth *ether.Bus) *Daemon {
 		box:     eth.Register(n.ID),
 		exports: make(map[uint32]*exportInfo),
 		waiting: make(map[int]*importWait),
+		served:  make(map[servedKey]importRep),
 	}
 }
 
 // start launches the daemon's Ethernet service loop.
 func (d *Daemon) start() {
-	d.node.Eng.Go(fmt.Sprintf("daemon:%d", d.node.ID), func(p *simProc) {
+	d.proc = d.node.Eng.Go(fmt.Sprintf("daemon:%d", d.node.ID), func(p *simProc) {
 		p.SetDaemon(true)
 		for {
 			m := d.box.Get(p)
@@ -196,9 +221,26 @@ func (d *Daemon) importRemote(p *simProc, proc *Process, exporterNode int, tag u
 	}
 	w := &importWait{cond: sim.NewCond(d.node.Eng)}
 	d.waiting[req.ReqID] = w
-	d.eth.Send(p, d.node.ID, exporterNode, "import-req", req)
-	for !w.done {
-		w.cond.Wait(p)
+	// Request/retry loop: the Ethernet may lose the request or the reply;
+	// the exporter answers retransmissions idempotently (see serveImport).
+	timeout := importBaseTimeout
+	for attempt := 0; !w.done; attempt++ {
+		if attempt > importMaxRetries {
+			delete(d.waiting, req.ReqID)
+			return 0, 0, ErrDaemonUnreachable
+		}
+		if attempt > 0 {
+			d.importRetries++
+			d.node.Eng.TraceInstant(fmt.Sprintf("daemon%d", d.node.ID), "daemon", "import_retry")
+		}
+		d.eth.Send(p, d.node.ID, exporterNode, "import-req", req)
+		deadline := d.node.Eng.Now() + timeout
+		for !w.done && d.node.Eng.Now() < deadline {
+			w.cond.WaitTimeout(p, deadline-d.node.Eng.Now())
+		}
+		if timeout *= 2; timeout > importMaxTimeout {
+			timeout = importMaxTimeout
+		}
 	}
 	rep := w.rep
 	if rep.Err != "" {
@@ -243,8 +285,15 @@ func (d *Daemon) importRemote(p *simProc, proc *Process, exporterNode int, tag u
 	return ProxyAddr(base) << mem.PageShift, rep.Length, nil
 }
 
-// serveImport answers a remote daemon's import request.
+// serveImport answers a remote daemon's import request. Retransmitted
+// requests (the reply was lost) are answered from the served cache so the
+// importer reference count moves exactly once per logical import.
 func (d *Daemon) serveImport(p *simProc, from int, req importReq) {
+	key := servedKey{node: from, reqID: req.ReqID}
+	if rep, ok := d.served[key]; ok {
+		d.eth.Send(p, d.node.ID, from, "import-rep", rep)
+		return
+	}
 	rep := importRep{ReqID: req.ReqID}
 	info, ok := d.exports[req.Tag]
 	switch {
@@ -258,6 +307,7 @@ func (d *Daemon) serveImport(p *simProc, from int, req importReq) {
 		info.importers++
 		d.importsServed++
 	}
+	d.served[key] = rep
 	d.eth.Send(p, d.node.ID, from, "import-rep", rep)
 }
 
@@ -286,4 +336,34 @@ func importAllowed(allowed []ProcID, who ProcID) bool {
 // Stats reports exports registered and imports granted by this daemon.
 func (d *Daemon) Stats() (exports, imports int64) {
 	return d.exportsServed, d.importsServed
+}
+
+// ImportRetries reports how many import requests had to be retransmitted.
+func (d *Daemon) ImportRetries() int64 { return d.importRetries }
+
+// reset discards all daemon state, as a crash does: exports died with the
+// node's memory, pending waits will never be answered (their waiters are
+// killed with the node), and the served cache must not alias the request
+// ids a restarted daemon hands out afresh.
+func (d *Daemon) reset() {
+	if d.proc != nil {
+		d.proc.Kill()
+		d.proc = nil
+	}
+	d.exports = make(map[uint32]*exportInfo)
+	d.waiting = make(map[int]*importWait)
+	d.served = make(map[servedKey]importRep)
+	d.nextReq = 0
+	d.drainBox()
+}
+
+// drainBox discards datagrams queued for a dead daemon; a rebooted one
+// must not act on pre-crash traffic. Called at crash and again at restart
+// (messages keep arriving while the node is down).
+func (d *Daemon) drainBox() {
+	for {
+		if _, ok := d.box.TryGet(); !ok {
+			break
+		}
+	}
 }

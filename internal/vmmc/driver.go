@@ -56,6 +56,11 @@ type notifyIRQ struct {
 // process that pays the interrupt entry cost.
 func (d *Driver) handleInterrupt(cause any) {
 	n := d.node
+	if n.crashed {
+		// A dead host services nothing; in-flight interrupts at the
+		// crash instant are simply lost.
+		return
+	}
 	switch irq := cause.(type) {
 	case tlbMissIRQ:
 		n.Eng.Go(fmt.Sprintf("driver%d:tlbmiss", n.ID), func(p *simProc) {

@@ -48,6 +48,9 @@ type LCP struct {
 	recvOff    int    // receive staging
 	scratchOff int    // 8-byte completion scratch
 
+	// The LCP's simulation processes, killed at node crash.
+	rxProc, mainProc *simProc
+
 	stats LCPStats
 
 	// comp is the trace component name ("node<id>/lcp"); m holds the
@@ -135,6 +138,7 @@ const (
 	ceOutOfRange
 	ceNoRoute
 	ceBadSource
+	ceUnreachable
 )
 
 func completionError(code uint32) error {
@@ -149,6 +153,8 @@ func completionError(code uint32) error {
 		return fmt.Errorf("vmmc: no route to destination node")
 	case ceBadSource:
 		return ErrBadBuffer
+	case ceUnreachable:
+		return ErrNodeUnreachable
 	default:
 		return fmt.Errorf("vmmc: unknown completion error %d", code)
 	}
@@ -189,7 +195,7 @@ func newLCP(n *Node, routes myrinet.RouteTable) (*LCP, error) {
 	// (the net-to-SRAM DMA engine runs concurrently with the LANai CPU,
 	// §3), then hands them to the LCP. Back-to-back packets serialize at
 	// wire rate on this engine.
-	n.Eng.Go(fmt.Sprintf("lcp:%d:rx", n.ID), func(p *simProc) {
+	l.rxProc = n.Eng.Go(fmt.Sprintf("lcp:%d:rx", n.ID), func(p *simProc) {
 		p.SetDaemon(true)
 		for {
 			data, pk := n.Board.Receive(p)
@@ -197,11 +203,34 @@ func newLCP(n *Node, routes myrinet.RouteTable) (*LCP, error) {
 			l.work.Signal()
 		}
 	})
-	n.Eng.Go(fmt.Sprintf("lcp:%d", n.ID), func(p *simProc) {
+	l.mainProc = n.Eng.Go(fmt.Sprintf("lcp:%d", n.ID), func(p *simProc) {
 		p.SetDaemon(true)
 		l.run(p)
 	})
 	return l, nil
+}
+
+// teardown kills the LCP's processes and releases its SRAM — the crash
+// path. A restarted node builds a fresh LCP from scratch; nothing of this
+// one survives.
+func (l *LCP) teardown() {
+	l.rxProc.Kill()
+	l.mainProc.Kill()
+	sram := l.node.Board.SRAM
+	for pid := range l.states {
+		l.unregisterProcess(pid)
+	}
+	sram.Free(l.codeOff)
+	sram.Free(l.incoming.sramOff)
+	for _, off := range l.stagingOff {
+		sram.Free(off)
+	}
+	sram.Free(l.recvOff)
+	sram.Free(l.scratchOff)
+	l.curJob = nil
+	l.rxq = nil
+	l.redirects = make(map[uint32]*redirectRec)
+	l.arrivedHW = make(map[uint32]int)
 }
 
 // Stats returns a copy of the LCP's counters.
@@ -421,9 +450,22 @@ func (l *LCP) handleShort(p *simProc, st *lcpProcState, e sqEntry) {
 		l.stats.NotificationsRequested++
 		l.m.notifyRequested.Add(1)
 	}
-	l.writeCompletion(p, st, e.seq, ceOK)
 	payload := append(hdr.encode(), e.inline...)
-	l.node.Board.SendPacket(p, route, payload)
+	if l.node.Board.Reliable() == nil {
+		// The paper's fire-and-forget path: the inline data is already
+		// safe in the queue entry, so completion precedes injection and
+		// injection cannot fail (§4.2/§4.5).
+		l.writeCompletion(p, st, e.seq, ceOK)
+		l.node.Board.SendPacket(p, route, payload)
+	} else {
+		// With the link layer the injection can fail (retransmit budget
+		// exhausted); completion follows it so the error is reportable.
+		if err := l.node.Board.SendPacket(p, route, payload); err != nil {
+			l.writeCompletion(p, st, e.seq, ceUnreachable)
+			return
+		}
+		l.writeCompletion(p, st, e.seq, ceOK)
+	}
 	l.stats.PacketsOut++
 	l.stats.BytesOut += int64(e.length)
 	l.m.packetsOut.Add(1)

@@ -87,6 +87,12 @@ func (l *LCP) stepJob(p *simProc) {
 		l.startChunkDMA(p, j)
 	}
 
+	// A failed job discards anything still staged (including chunks whose
+	// host DMA completed after the failure) instead of injecting it.
+	if j.failed {
+		j.staged = nil
+	}
+
 	// Phase 2: inject a staged chunk.
 	if len(j.staged) > 0 {
 		c := j.staged[0]
@@ -108,7 +114,10 @@ func (l *LCP) stepJob(p *simProc) {
 
 		// The last chunk is safely stored in the LANai buffer once its
 		// host DMA finished — report completion before injecting (§4.5).
-		if c.last && !j.completed {
+		// With the reliability layer, injection can fail, so completion
+		// moves after it (below).
+		reliable := l.node.Board.Reliable() != nil
+		if !reliable && c.last && !j.completed {
 			l.writeCompletion(p, j.st, j.e.seq, ceOK)
 			j.completed = true
 		}
@@ -132,12 +141,27 @@ func (l *LCP) stepJob(p *simProc) {
 			}
 		}
 		payload := append(hdr.encode(), l.node.Board.SRAM.Bytes(c.sramOff, c.n)...)
-		l.node.Board.SendPacket(p, j.route, payload)
-		j.injOff += c.n
-		l.stats.PacketsOut++
-		l.stats.BytesOut += int64(c.n)
-		l.m.packetsOut.Add(1)
-		l.m.bytesOut.Add(int64(c.n))
+		if err := l.node.Board.SendPacket(p, j.route, payload); err != nil {
+			// Destination unreachable: abandon the transfer and report
+			// the typed failure (the remaining chunks would only burn
+			// the budget again).
+			j.failed = true
+			j.staged = nil
+			if !j.completed {
+				l.writeCompletion(p, j.st, j.e.seq, ceUnreachable)
+				j.completed = true
+			}
+		} else {
+			j.injOff += c.n
+			l.stats.PacketsOut++
+			l.stats.BytesOut += int64(c.n)
+			l.m.packetsOut.Add(1)
+			l.m.bytesOut.Add(int64(c.n))
+			if reliable && c.last && !j.completed {
+				l.writeCompletion(p, j.st, j.e.seq, ceOK)
+				j.completed = true
+			}
+		}
 	}
 
 	if j.done() {

@@ -35,6 +35,11 @@ type Node struct {
 	procs   map[int]*Process
 	nextPid int
 
+	// crashed marks a node that is down; routes keeps the boot-time
+	// routing table so a restart skips remapping the (unchanged) fabric.
+	crashed bool
+	routes  myrinet.RouteTable
+
 	// MemActivity is broadcast whenever the interface deposits data into
 	// host memory. Pollers (e.g. the vRPC server) park on it instead of
 	// generating an endless stream of poll events while idle; the poll
@@ -71,7 +76,48 @@ func (n *Node) start(routes myrinet.RouteTable) error {
 		return err
 	}
 	n.LCP = lcp
+	n.routes = routes
 	n.Daemon.start()
+	return nil
+}
+
+// Crashed reports whether the node is currently down.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// crash models abrupt node death: the NIC goes dark, the LCP and daemon
+// die, every page pin vanishes with the rebooting OS, and the node's
+// process handles turn permanently stale.
+func (n *Node) crash() {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.Board.NIC.SetDown(true)
+	n.LCP.teardown()
+	n.Daemon.reset()
+	if rl := n.Board.Reliable(); rl != nil {
+		rl.Reset()
+	}
+	for pid, proc := range n.procs {
+		proc.dead = true
+		delete(n.procs, pid)
+	}
+	n.Phys.ResetPins()
+}
+
+// restart brings a crashed node back with a fresh LCP and daemon, reusing
+// the boot-time routes (the fabric did not change). Pre-crash processes,
+// exports and imports are gone; peers must re-import.
+func (n *Node) restart() error {
+	if !n.crashed {
+		return nil
+	}
+	n.Daemon.drainBox()
+	if err := n.start(n.routes); err != nil {
+		return err
+	}
+	n.crashed = false
+	n.Board.NIC.SetDown(false)
 	return nil
 }
 
@@ -81,6 +127,9 @@ func (n *Node) start(routes myrinet.RouteTable) error {
 // reporting. It fails with ErrProcessLimit when the SRAM budget is
 // exhausted — the paper's limit on simultaneous VMMC users per interface.
 func (n *Node) NewProcess(p *sim.Proc) (*Process, error) {
+	if n.crashed {
+		return nil, ErrNodeDown
+	}
 	pid := n.nextPid
 	n.nextPid++
 	as := mem.NewAddressSpace(n.Phys)
@@ -130,6 +179,13 @@ func (n *Node) NewProcess(p *sim.Proc) (*Process, error) {
 // and the status page unpinned, and exports/imports released.
 func (proc *Process) Close(p *sim.Proc) error {
 	n := proc.Node
+	if proc.dead {
+		// The crash already tore everything down.
+		return nil
+	}
+	if n.crashed {
+		return ErrNodeDown
+	}
 	for tag := range proc.exports {
 		if err := proc.Unexport(p, tag); err != nil {
 			return err

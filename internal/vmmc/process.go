@@ -23,6 +23,34 @@ type Process struct {
 	exports  map[uint32]*exportRec
 	handlers map[uint32]NotifyHandler
 	nextSeq  uint32
+
+	// dead marks a handle from before a node crash; every operation on
+	// it fails with ErrNodeDown.
+	dead bool
+
+	errs ProcErrors
+}
+
+// ProcErrors counts the failures the library surfaced to this process —
+// the per-process observability for degraded operation.
+type ProcErrors struct {
+	// SendFailures counts sends that completed with an error (including
+	// ErrNodeUnreachable) or were rejected because the node is down.
+	SendFailures int64
+	// ImportFailures counts failed imports (denied, missing export,
+	// unreachable daemon, node down).
+	ImportFailures int64
+}
+
+// Errors returns the process's error counters.
+func (proc *Process) Errors() ProcErrors { return proc.errs }
+
+// alive gates every library call against node death.
+func (proc *Process) alive() error {
+	if proc.dead || proc.Node.crashed {
+		return ErrNodeDown
+	}
+	return nil
 }
 
 type importRec struct {
@@ -67,6 +95,9 @@ func (proc *Process) Read(va mem.VirtAddr, n int) ([]byte, error) {
 // The buffer must be page aligned. allowed restricts the importers; nil
 // allows any. notifyOK permits senders to attach notifications.
 func (proc *Process) Export(p *simProc, tag uint32, va mem.VirtAddr, n int, allowed []ProcID, notifyOK bool) error {
+	if err := proc.alive(); err != nil {
+		return err
+	}
 	info, err := proc.Node.Daemon.exportLocal(p, proc, tag, va, n, allowed, notifyOK)
 	if err != nil {
 		return err
@@ -91,7 +122,15 @@ func (proc *Process) Unexport(p *simProc, tag uint32) error {
 // process's destination proxy space, returning the proxy address and the
 // buffer length (§2).
 func (proc *Process) Import(p *simProc, exporterNode int, tag uint32) (ProxyAddr, int, error) {
-	return proc.Node.Daemon.importRemote(p, proc, exporterNode, tag)
+	if err := proc.alive(); err != nil {
+		proc.errs.ImportFailures++
+		return 0, 0, err
+	}
+	base, n, err := proc.Node.Daemon.importRemote(p, proc, exporterNode, tag)
+	if err != nil {
+		proc.errs.ImportFailures++
+	}
+	return base, n, err
 }
 
 // Unimport releases an import by its proxy base address.
@@ -161,6 +200,10 @@ type SendOptions struct {
 // copy the data into the SRAM send queue with programmed I/O; long sends
 // post only the buffer's virtual address (§4.5).
 func (proc *Process) SendMsg(p *simProc, src mem.VirtAddr, dest ProxyAddr, n int, opts SendOptions) (uint32, error) {
+	if err := proc.alive(); err != nil {
+		proc.errs.SendFailures++
+		return 0, err
+	}
 	if n <= 0 {
 		return 0, ErrBadBuffer
 	}
@@ -225,12 +268,21 @@ func (proc *Process) SendDone(seq uint32) (bool, error) {
 func (proc *Process) WaitSend(p *simProc, seq uint32) error {
 	var result error
 	proc.Node.CPU.SpinWait(p, func() bool {
+		if proc.dead || proc.Node.crashed {
+			// The local node died under us; the completion will never
+			// arrive.
+			result = ErrNodeDown
+			return true
+		}
 		done, err := proc.SendDone(seq)
 		if done {
 			result = err
 		}
 		return done
 	})
+	if result != nil {
+		proc.errs.SendFailures++
+	}
 	return result
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -71,8 +72,11 @@ func TestReliableRecoversFromCRCErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		// Corrupt a burst of packets mid-transfer.
-		c.Net.InjectBitError(5)
+		// Corrupt a burst of packets mid-transfer (per-link fault plan on
+		// the sender's cable).
+		pl := fault.NewPlan(c.Eng, 1)
+		c.Net.SetFaults(pl)
+		pl.CorruptNextOn(c.Nodes[0].Board.NIC.ID, 5)
 		if err := send.SendMsgSync(p, src, dest, size, SendOptions{}); err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +122,9 @@ func TestUnreliableLosesWhatReliableRecovers(t *testing.T) {
 		if err := send.Write(src, msg); err != nil {
 			t.Fatal(err)
 		}
-		c.Net.InjectBitError(5)
+		pl := fault.NewPlan(c.Eng, 1)
+		c.Net.SetFaults(pl)
+		pl.CorruptNextOn(c.Nodes[0].Board.NIC.ID, 5)
 		if err := send.SendMsgSync(p, src, dest, size, SendOptions{}); err != nil {
 			t.Fatal(err)
 		}

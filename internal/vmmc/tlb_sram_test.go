@@ -3,6 +3,7 @@ package vmmc
 import (
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -235,7 +236,9 @@ func TestCRCErrorDetectedAndDropped(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		c.Net.InjectBitError(1)
+		pl := fault.NewPlan(c.Eng, 1)
+		c.Net.SetFaults(pl)
+		pl.CorruptNextOn(c.Nodes[0].Board.NIC.ID, 1)
 		if err := send.SendMsgSync(p, src, dest, 1, SendOptions{}); err != nil {
 			t.Fatal(err) // sync send completes: error is receive-side
 		}

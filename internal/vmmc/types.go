@@ -54,6 +54,18 @@ var (
 	ErrShutdown      = errors.New("vmmc: node shut down")
 	ErrNotExported   = errors.New("vmmc: buffer not exported")
 	ErrStillImported = errors.New("vmmc: buffer has active imports")
+
+	// ErrNodeUnreachable reports that the reliable link layer exhausted
+	// its retransmit budget toward the destination: the node is crashed,
+	// or the path to it is dead. Only surfaced with Options.Reliable; the
+	// paper's configuration silently loses the data (§4.2).
+	ErrNodeUnreachable = errors.New("vmmc: destination node unreachable")
+	// ErrDaemonUnreachable reports that a remote daemon never answered an
+	// import request despite timeout-driven retries over the Ethernet.
+	ErrDaemonUnreachable = errors.New("vmmc: remote daemon unreachable")
+	// ErrNodeDown reports an operation on a process whose node has
+	// crashed (or a stale process handle from before a restart).
+	ErrNodeDown = errors.New("vmmc: node is down")
 )
 
 // wire header: route bytes are consumed by the fabric; this header leads
