@@ -9,7 +9,11 @@
 //	vmmcbench -experiment headline -trace t.json -metrics m.json
 //
 // Experiment ids: headline, fig1, fig2, fig3, fig4, tabhw, tabvrpc,
-// tabshrimp, tabrelated, extensions, ablations, faultsweep.
+// tabshrimp, tabrelated, extensions, ablations, faultsweep, scalesweep.
+//
+// scalesweep also reads -scale-nodes (comma-separated cluster sizes,
+// default 16,64,256) and -scale-out (path for the BENCH_scale.json
+// machine-readable artifact).
 //
 // With -trace, each run records structured events over virtual time and
 // writes a Chrome trace_event JSON file (open in chrome://tracing or
@@ -24,9 +28,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
+
+var (
+	scaleNodes = flag.String("scale-nodes", "", "scalesweep cluster sizes, comma-separated (default 16,64,256)")
+	scaleOut   = flag.String("scale-out", "", "scalesweep: write the BENCH_scale.json artifact here")
+)
+
+func parseScaleNodes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var nodes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -scale-nodes entry %q", part)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
 
 type experiment struct {
 	id, what string
@@ -141,6 +167,18 @@ var experiments = []experiment{
 	}},
 	{"faultsweep", "robustness: goodput vs injected wire error rate, reliability off/on", func() error {
 		t, err := bench.FaultSweep()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"scalesweep", "scaling: all-to-all goodput and simulator events/sec, 16-256 nodes", func() error {
+		nodes, err := parseScaleNodes(*scaleNodes)
+		if err != nil {
+			return err
+		}
+		t, err := bench.ScaleSweep(bench.ScaleConfig{Nodes: nodes, Out: *scaleOut})
 		if err != nil {
 			return err
 		}

@@ -68,7 +68,5 @@ func (c *CPU) Compute(p *sim.Proc, d sim.Time) {
 // cost no bus cycles (the completion word is written into the cache line
 // by DMA; §4.5), only latency granularity.
 func (c *CPU) SpinWait(p *sim.Proc, check func() bool) {
-	for !check() {
-		p.Sleep(c.prof.SpinCheckInterval)
-	}
+	p.PollEvery(c.prof.SpinCheckInterval, check)
 }

@@ -49,6 +49,8 @@ type ReliableLink struct {
 	tx map[int]*txState
 	// Per source NIC id: next expected sequence.
 	rxExpected map[int]uint32
+	// Per source NIC id: armed delayed-ack state (AckDelay > 0 only).
+	rxAckPending map[int]*pendingAck
 
 	windowFree *sim.Cond
 	sramOff    int
@@ -88,6 +90,16 @@ type ReliabilityConfig struct {
 	// PerPacketCost is the LANai software cost of the link-layer
 	// bookkeeping on each side — the overhead §4.2 declined to pay.
 	PerPacketCost sim.Time
+	// AckDelay, when positive, arms a receiver-side delayed ack for
+	// in-sequence packets the AckEvery rule skips: if no later packet
+	// forces an ack first, a cumulative ack goes out AckDelay after the
+	// packet arrived. Without it (the zero default, preserving the
+	// original behavior) the tail of a burst is acknowledged only by the
+	// sender's timeout-retransmit-duplicate round trip — one full RTO of
+	// latency and a redundant retransmission per straggler, which under
+	// sparse traffic means per *message*. Set it well below the RTO and
+	// above the inter-packet gap of a burst.
+	AckDelay sim.Time
 }
 
 // DefaultReliability returns a reasonable configuration.
@@ -101,6 +113,15 @@ func DefaultReliability() ReliabilityConfig {
 		MaxRetries:        8,
 		PerPacketCost:     sim.Micros(0.5),
 	}
+}
+
+// pendingAck is an armed delayed acknowledgement toward one sender. The
+// ack is cumulative: it reads rxExpected at fire time, so packets landing
+// while the timer runs are covered without re-arming.
+type pendingAck struct {
+	timer  *sim.Event
+	route  []byte // reversed ingress back to the sender
+	winKey uint32
 }
 
 type txState struct {
@@ -164,6 +185,7 @@ func (b *Board) EnableReliability(cfg ReliabilityConfig) (*ReliableLink, error) 
 		cfg:          cfg,
 		tx:           make(map[int]*txState),
 		rxExpected:   make(map[int]uint32),
+		rxAckPending: make(map[int]*pendingAck),
 		windowFree:   sim.NewCond(b.Eng),
 		sramOff:      off,
 		mRetx:        b.Eng.Metrics().Counter(comp + "/rl_retransmits"),
@@ -377,6 +399,9 @@ func (rl *ReliableLink) Reset() {
 		delete(rl.tx, key)
 	}
 	rl.rxExpected = make(map[int]uint32)
+	for sender := range rl.rxAckPending {
+		rl.cancelDelayedAck(sender)
+	}
 	rl.windowFree.Broadcast()
 }
 
@@ -396,6 +421,7 @@ func (rl *ReliableLink) ResetPeer(route []byte, nic int) {
 		rl.windowFree.Broadcast()
 	}
 	delete(rl.rxExpected, nic)
+	rl.cancelDelayedAck(nic)
 }
 
 // receive filters one raw packet through the link layer. It returns the
@@ -426,21 +452,27 @@ func (rl *ReliableLink) receive(p *sim.Proc, pk *myrinet.Packet) []byte {
 			rl.rxExpected[sender] = expect + 1
 			rl.Deliveries++
 			// Cumulative ack every k packets; stragglers are recovered
-			// by the sender's timeout + the duplicate re-ack below.
+			// by the delayed ack when configured, otherwise by the
+			// sender's timeout + the duplicate re-ack below.
 			if (seq+1)%uint32(rl.cfg.AckEvery) == 0 {
+				rl.cancelDelayedAck(sender)
 				rl.sendAck(p, pk, winKey, seq+1)
+			} else if rl.cfg.AckDelay > 0 {
+				rl.armDelayedAck(sender, pk, winKey)
 			}
 			return pk.Payload[linkHdrSize:]
 		case seq < expect:
 			// Duplicate from a retransmission race: re-ack so the
 			// sender's window advances.
 			rl.DupDrops++
+			rl.cancelDelayedAck(sender)
 			rl.sendAck(p, pk, winKey, expect)
 			return nil
 		default:
 			// Gap: an earlier packet was dropped (CRC); go-back-N
 			// discards successors and re-acks the expectation.
 			rl.GapDrops++
+			rl.cancelDelayedAck(sender)
 			rl.sendAck(p, pk, winKey, expect)
 			return nil
 		}
@@ -451,8 +483,38 @@ func (rl *ReliableLink) receive(p *sim.Proc, pk *myrinet.Packet) []byte {
 // sendAck emits a cumulative acknowledgement along the reversed route,
 // echoing the sender's window key.
 func (rl *ReliableLink) sendAck(p *sim.Proc, pk *myrinet.Packet, winKey, ackSeq uint32) {
+	rl.sendAckRoute(p, myrinet.ReverseRoute(pk.Ingress), winKey, ackSeq)
+}
+
+func (rl *ReliableLink) sendAckRoute(p *sim.Proc, route []byte, winKey, ackSeq uint32) {
 	rl.AcksSent++
-	route := myrinet.ReverseRoute(pk.Ingress)
 	rl.board.NetSend.TransferWith(p, 0, rl.board.Prof.NetSend)
 	rl.board.NIC.Send(p, route, wrapLink(linkAck, int(winKey), ackSeq, 0, nil))
+}
+
+// armDelayedAck schedules a cumulative ack toward sender unless one is
+// already pending (the existing timer's ack covers the new packet — the
+// ack sequence is read at fire time).
+func (rl *ReliableLink) armDelayedAck(sender int, pk *myrinet.Packet, winKey uint32) {
+	if rl.rxAckPending[sender] != nil {
+		return
+	}
+	pa := &pendingAck{route: myrinet.ReverseRoute(pk.Ingress), winKey: winKey}
+	rl.rxAckPending[sender] = pa
+	pa.timer = rl.board.Eng.After(rl.cfg.AckDelay, func() {
+		delete(rl.rxAckPending, sender)
+		ackSeq := rl.rxExpected[sender]
+		rl.board.Eng.Go(fmt.Sprintf("lanai%d:dack", rl.board.NIC.ID), func(p *sim.Proc) {
+			rl.sendAckRoute(p, pa.route, pa.winKey, ackSeq)
+		})
+	})
+}
+
+// cancelDelayedAck withdraws a pending delayed ack; an immediate
+// cumulative ack toward the same sender supersedes it.
+func (rl *ReliableLink) cancelDelayedAck(sender int) {
+	if pa := rl.rxAckPending[sender]; pa != nil {
+		pa.timer.Cancel()
+		delete(rl.rxAckPending, sender)
+	}
 }

@@ -155,6 +155,185 @@ func StartMapping(net *Network, maxDepth int, probeTimeout sim.Time) *Mapping {
 	return m
 }
 
+// StartMappingCentral maps the fabric from a single host and computes
+// every node's route table from the discovered tree — the way deployed
+// Myrinet mapping worked: one mapper host explores, then distributes
+// routes. The prober still learns only what probe packets tell it, but
+// two prunings keep the search linear in the fabric size where the
+// per-node prober of StartMapping is exponential:
+//
+//   - switch fingerprinting: the 8-port reply pattern of a switch with at
+//     least one attached host identifies it uniquely (host NIC ids are
+//     unique), so a route prefix whose one-hop replies match an already
+//     explored switch is a walk doubling back through the fabric and is
+//     not extended;
+//   - silent cutoff: a prefix whose whole subtree has drawn no reply for
+//     two consecutive levels is a dangling cable, not a switch chain, and
+//     is abandoned (a real chain shows attached hosts along the way).
+//
+// The cutoff assumes hostless switches do not appear two-in-a-row, true
+// of any cluster wiring that puts hosts on every switch; pathological
+// fabrics should use the exhaustive StartMapping.
+//
+// Pairwise routes fall out of the tree: with P(h) the probe route to
+// host h and R(h) the reply route back (read straight from the reply
+// packet), and c the longest common switch prefix of P(i) and P(j), the
+// route i->j climbs i's reply route to the divergence switch and descends
+// j's probe route: R(i)[:len(P(i))-1-c] + P(j)[c:].
+func StartMappingCentral(net *Network, maxDepth int, probeTimeout sim.Time) *Mapping {
+	m := &Mapping{
+		eng:    net.Engine(),
+		net:    net,
+		tables: make(map[int]RouteTable),
+		cond:   sim.NewCond(net.Engine()),
+	}
+
+	replies := sim.NewQueue[mapReplyMsg](m.eng, "map:replies")
+	nics := net.NICs()
+	if len(nics) == 0 {
+		m.done = true
+		return m
+	}
+
+	responders := make([]*sim.Proc, len(nics))
+	for _, nic := range nics {
+		nic := nic
+		responders[nic.ID] = m.eng.Go(fmt.Sprintf("maplcp:%d", nic.ID), func(p *sim.Proc) {
+			for {
+				pk := nic.RX.Get(p)
+				typ, seq, id, ok := decodeMapMsg(pk.Payload)
+				if !ok || !pk.CheckCRC() {
+					continue
+				}
+				switch typ {
+				case mapProbe:
+					reply := encodeMapMsg(mapReply, seq, uint32(nic.ID))
+					nic.Send(p, ReverseRoute(pk.Ingress), reply)
+				case mapReply:
+					// The reply's route field IS the responder->prober
+					// route (the reversed probe ingress it was sent on).
+					replies.Put(mapReplyMsg{seq: seq, responder: int(id), ingress: pk.Route})
+				}
+			}
+		})
+	}
+
+	prober := nics[0]
+	m.eng.Go("map:coordinator", func(p *sim.Proc) {
+		defer func() {
+			for _, r := range responders {
+				r.Kill()
+			}
+			m.done = true
+			m.cond.Broadcast()
+		}()
+
+		forward := map[int][]byte{} // host -> probe route from prober
+		back := map[int][]byte{}    // host -> reply route to prober
+		var seq uint32
+		// probe sends one candidate route and waits for its reply or the
+		// timeout. It reports the responder, recording first-seen routes.
+		probe := func(route []byte) (int, bool) {
+			seq++
+			prober.Send(p, route, encodeMapMsg(mapProbe, seq, uint32(prober.ID)))
+			for {
+				r, ok := replies.GetTimeout(p, probeTimeout)
+				if !ok {
+					return 0, false
+				}
+				if r.seq != seq {
+					continue // stale reply from a timed-out probe
+				}
+				if _, dup := forward[r.responder]; !dup {
+					forward[r.responder] = append([]byte(nil), route...)
+					back[r.responder] = append([]byte(nil), r.ingress...)
+				}
+				return r.responder, true
+			}
+		}
+
+		if _, direct := probe(nil); !direct {
+			// BFS over switch prefixes with fingerprint dedup and the
+			// silent cutoff.
+			type prefix struct {
+				route  []byte
+				silent int // consecutive reply-less levels ending here
+			}
+			const silentLimit = 2
+			seen := map[string]bool{} // fingerprints of explored switches
+			queue := []prefix{{route: nil, silent: 1}}
+			for len(queue) > 0 {
+				e := queue[0]
+				queue = queue[1:]
+				if len(e.route) >= maxDepth {
+					continue
+				}
+				var fp [8]int
+				anyReply := false
+				var silentKids [][]byte
+				for port := 0; port < 8; port++ {
+					ext := make([]byte, len(e.route)+1)
+					copy(ext, e.route)
+					ext[len(e.route)] = byte(port)
+					if id, ok := probe(ext); ok {
+						fp[port] = id + 1
+						anyReply = true
+					} else {
+						fp[port] = 0
+						silentKids = append(silentKids, ext)
+					}
+				}
+				run := e.silent + 1
+				if anyReply {
+					key := fmt.Sprint(fp)
+					if seen[key] {
+						continue // a walk back into an explored switch
+					}
+					seen[key] = true
+					run = 1
+				}
+				if run <= silentLimit {
+					for _, k := range silentKids {
+						queue = append(queue, prefix{route: k, silent: run})
+					}
+				}
+			}
+		}
+
+		// Compute every pairwise table from the tree. Probe routes from a
+		// fixed prober are BFS-minimal, so equal port prefixes mean the
+		// same switch.
+		hosts := []int{prober.ID}
+		for h := range forward {
+			hosts = append(hosts, h)
+		}
+		for _, i := range hosts {
+			table := RouteTable{}
+			for _, j := range hosts {
+				if i == j {
+					continue
+				}
+				switch {
+				case i == prober.ID:
+					table[j] = append([]byte(nil), forward[j]...)
+				case j == prober.ID:
+					table[j] = append([]byte(nil), back[i]...)
+				default:
+					pi, pj, ri := forward[i], forward[j], back[i]
+					c := 0
+					for c < len(pi)-1 && c < len(pj)-1 && pi[c] == pj[c] {
+						c++
+					}
+					route := append([]byte(nil), ri[:len(pi)-1-c]...)
+					table[j] = append(route, pj[c:]...)
+				}
+			}
+			m.tables[i] = table
+		}
+	})
+	return m
+}
+
 // Wait parks p until mapping completes.
 func (m *Mapping) Wait(p *sim.Proc) {
 	for !m.done {

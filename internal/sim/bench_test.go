@@ -58,6 +58,89 @@ func BenchmarkPingPongProcs(b *testing.B) {
 	}
 }
 
+// benchmarkEventDispatchCancel measures dispatch throughput when a
+// fraction of scheduled events is canceled before firing — the retransmit
+// timer pattern. Canceled events must be compacted away, not dragged
+// through every subsequent push and pop.
+func benchmarkEventDispatchCancel(b *testing.B, cancelPercent int) {
+	e := NewEngine()
+	nop := func() {}
+	n := 0
+	var schedule func()
+	schedule = func() {
+		// A timer a little in the future, canceled cancelPercent of
+		// the time before it can fire.
+		timer := e.After(100, nop)
+		if n%100 < cancelPercent {
+			timer.Cancel()
+		}
+		if n++; n < b.N {
+			e.After(1, schedule)
+		}
+	}
+	e.After(1, schedule)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEventDispatchCancel10(b *testing.B) { benchmarkEventDispatchCancel(b, 10) }
+func BenchmarkEventDispatchCancel50(b *testing.B) { benchmarkEventDispatchCancel(b, 50) }
+
+// BenchmarkWaitTimeoutChurn is the hot loop of a reliable sender: park
+// with a timeout, get signaled (acked) first, cancel the timer, repeat.
+func BenchmarkWaitTimeoutChurn(b *testing.B) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			if !c.WaitTimeout(p, Second) {
+				b.Fail()
+				return
+			}
+		}
+	})
+	e.Go("signaler", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+			c.Signal()
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWakeStorm broadcasts to 64 parked processes per round — the
+// all-to-all barrier pattern of the scalesweep. Cost per op is one full
+// park/broadcast/wake cycle for all 64.
+func BenchmarkWakeStorm(b *testing.B) {
+	const procs = 64
+	e := NewEngine()
+	c := NewCond(e)
+	for i := 0; i < procs; i++ {
+		e.Go("w", func(p *Proc) {
+			for j := 0; j < b.N; j++ {
+				c.Wait(p)
+			}
+		})
+	}
+	e.Go("storm", func(p *Proc) {
+		for j := 0; j < b.N; j++ {
+			for c.Waiting() < procs {
+				p.Yield()
+			}
+			c.Broadcast()
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkResourceHandoff(b *testing.B) {
 	e := NewEngine()
 	r := NewResource(e, "r")

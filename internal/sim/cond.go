@@ -5,52 +5,130 @@ package sim
 // engine. The usual pattern still applies — re-check the guarded predicate
 // in a loop around Wait, since another process may run between the signal
 // and the wakeup.
+//
+// Waiters form an intrusive doubly-linked list, so a timeout withdrawing
+// from the middle (the dominant case under retransmit-timer churn) is
+// O(1) instead of a scan of every parked process. Waiter records are
+// pooled on the engine; a full wait/wake or wait/timeout cycle performs
+// no allocation.
 type Cond struct {
-	eng     *Engine
-	waiters []*condWaiter
+	eng        *Engine
+	head, tail *condWaiter
+	n          int
 }
 
 type condWaiter struct {
-	p       *Proc
-	woken   bool
-	timeout *Event // pending timeout, nil for plain Wait
+	p          *Proc
+	c          *Cond // owning condition, for timeout dispatch
+	woken      bool
+	timeout    *Event // pending timeout, nil for plain Wait
+	prev, next *condWaiter
+	linked     bool
 }
 
 // NewCond returns a condition variable bound to eng.
 func NewCond(eng *Engine) *Cond { return &Cond{eng: eng} }
 
+// getWaiter draws a waiter record from the engine pool.
+func (e *Engine) getWaiter(p *Proc) *condWaiter {
+	if n := len(e.freeWaiters); n > 0 {
+		w := e.freeWaiters[n-1]
+		e.freeWaiters[n-1] = nil
+		e.freeWaiters = e.freeWaiters[:n-1]
+		*w = condWaiter{p: p}
+		return w
+	}
+	return &condWaiter{p: p}
+}
+
+// pushBack appends w to the wait list (FIFO wake order).
+func (c *Cond) pushBack(w *condWaiter) {
+	w.c = c
+	w.prev = c.tail
+	w.next = nil
+	if c.tail != nil {
+		c.tail.next = w
+	} else {
+		c.head = w
+	}
+	c.tail = w
+	w.linked = true
+	c.n++
+}
+
+// unlink removes w from the wait list in O(1).
+func (c *Cond) unlink(w *condWaiter) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		c.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		c.tail = w.prev
+	}
+	w.prev = nil
+	w.next = nil
+	w.linked = false
+	c.n--
+}
+
+// finish is the single teardown path for a wait, reached on normal return
+// AND on the kill-panic unwind of the waiting process. It cancels a still-
+// pending timeout, withdraws the waiter if it is still enlisted (a killed
+// process parked here would otherwise leak its record forever), and
+// returns the record to the pool.
+func (c *Cond) finish(w *condWaiter) {
+	if w.timeout != nil {
+		w.timeout.Cancel()
+		w.timeout = nil
+	}
+	if w.linked {
+		c.unlink(w)
+	}
+	c.eng.freeWaiters = append(c.eng.freeWaiters, w)
+}
+
 // Wait parks p until Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Proc) {
-	w := &condWaiter{p: p}
-	c.waiters = append(c.waiters, w)
+	w := c.eng.getWaiter(p)
+	c.pushBack(w)
+	defer c.finish(w)
 	p.park("cond wait")
 }
 
 // WaitTimeout parks p until woken or until d elapses. It reports true if
 // the process was woken by Signal/Broadcast and false on timeout.
 func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
-	w := &condWaiter{p: p}
-	w.timeout = c.eng.After(d, func() {
-		// Timed out: withdraw from the waiter list and resume.
-		c.remove(w)
-		c.eng.schedule(p)
-	})
-	c.waiters = append(c.waiters, w)
+	w := c.eng.getWaiter(p)
+	w.timeout = c.eng.postTimeout(d, w)
+	c.pushBack(w)
+	defer c.finish(w)
 	p.park("cond wait (timeout)")
 	return w.woken
+}
+
+// expire is the timeout event's dispatch: the waiter withdraws and its
+// process resumes with woken=false. Called by the engine.
+func (c *Cond) expire(w *condWaiter) {
+	w.timeout = nil
+	if w.linked {
+		c.unlink(w)
+	}
+	c.eng.schedule(w.p)
 }
 
 // Signal wakes the longest-waiting live process, if any. The wakeup is
 // scheduled at the current time; the woken process runs after the caller
 // parks or the current event returns. Waiters that died (killed while
-// parked here) are discarded so they cannot swallow the signal.
+// parked here) are discarded so they cannot swallow the signal; their
+// kill unwind releases their records independently.
 func (c *Cond) Signal() {
-	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for c.head != nil {
+		w := c.head
+		c.unlink(w)
 		if !c.eng.alive(w.p) || w.p.killed {
-			// Dead or dying waiters cannot consume the signal; their
-			// kill wakeup unwinds them independently.
 			continue
 		}
 		c.wake(w)
@@ -60,9 +138,9 @@ func (c *Cond) Signal() {
 
 // Broadcast wakes all live waiting processes in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	for c.head != nil {
+		w := c.head
+		c.unlink(w)
 		if c.eng.alive(w.p) && !w.p.killed {
 			c.wake(w)
 		}
@@ -73,18 +151,10 @@ func (c *Cond) wake(w *condWaiter) {
 	w.woken = true
 	if w.timeout != nil {
 		w.timeout.Cancel()
+		w.timeout = nil
 	}
-	c.eng.After(0, func() { c.eng.schedule(w.p) })
-}
-
-func (c *Cond) remove(w *condWaiter) {
-	for i, x := range c.waiters {
-		if x == w {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
-			return
-		}
-	}
+	c.eng.postWake(0, w.p)
 }
 
 // Waiting reports the number of processes currently parked on c.
-func (c *Cond) Waiting() int { return len(c.waiters) }
+func (c *Cond) Waiting() int { return c.n }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -9,19 +8,38 @@ import (
 )
 
 // Event is a scheduled callback. It can be canceled before it fires.
+//
+// Events come in two flavors internally. Public events (made by At/After)
+// are heap-allocated and never reused: callers may hold the pointer
+// indefinitely, cancel it late, or query it after it fired. Internal
+// events (process wakeups, condition timeouts) never escape the package,
+// so they are drawn from a free list and recycled the moment they leave
+// the event heap — steady-state scheduling does not allocate.
 type Event struct {
+	eng      *Engine
 	at       Time
 	seq      uint64
-	fn       func()
+	fn       func()      // generic callback (public events, spawns)
+	proc     *Proc       // wake this process (closure-free fast path)
+	waiter   *condWaiter // expire this condition-wait timeout
 	canceled bool
+	pooled   bool
 	index    int // heap index, -1 once popped
 }
 
 // Cancel prevents the event's callback from running. Canceling an event
 // that already fired or was already canceled is a no-op.
 func (ev *Event) Cancel() {
+	if ev.canceled {
+		return
+	}
 	ev.canceled = true
 	ev.fn = nil
+	ev.proc = nil
+	ev.waiter = nil
+	if ev.index >= 0 {
+		ev.eng.noteCancel()
+	}
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -30,33 +48,98 @@ func (ev *Event) Canceled() bool { return ev.canceled }
 // Time reports when the event is (or was) scheduled to fire.
 func (ev *Event) Time() Time { return ev.at }
 
+// eventHeap is a binary min-heap ordered by (time, seq). It is hand-rolled
+// rather than built on container/heap: the interface-based sift calls cost
+// measurably on the dispatch hot path, and this heap is the single most
+// executed data structure in the simulator.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// push adds ev to the heap.
+func (e *Engine) heapPush(ev *Event) {
+	ev.index = len(e.events)
+	e.events = append(e.events, ev)
+	e.events.up(ev.index)
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) heapPop() *Event {
+	h := e.events
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	e.events = h[:n]
+	if n > 1 {
+		e.events.down(0)
+	}
 	ev.index = -1
-	*h = old[:n-1]
 	return ev
+}
+
+// compactMinCanceled is the floor below which canceled events are never
+// worth sweeping; compactMinFraction is the numerator of the canceled/total
+// ratio (out of compactFractionDen) that triggers a sweep.
+const (
+	compactMinCanceled = 64
+	compactMinFraction = 1
+	compactFractionDen = 2
+	heapSampleInterval = 4096 // dispatches between trace counter samples
+)
+
+// SchedStats is a point-in-time snapshot of the scheduler's internals,
+// used by performance regression tests and the scalesweep harness.
+type SchedStats struct {
+	HeapLen      int    // events resident in the heap, canceled included
+	HeapCanceled int    // canceled events awaiting compaction or pop
+	PeakHeapLen  int    // largest heap residency ever observed
+	Dispatched   uint64 // events executed since construction
+	Compactions  uint64 // lazy compaction sweeps performed
+	FreeEvents   int    // pooled events available for reuse
+	FreeWorkers  int    // parked goroutines available for reuse
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
@@ -69,8 +152,26 @@ type Engine struct {
 	stopped bool
 	trace   func(t Time, format string, args ...any)
 
+	// Scheduler bookkeeping: canceled-in-heap count drives lazy
+	// compaction; the free lists make steady-state scheduling
+	// allocation-free.
+	canceledInHeap int
+	peakHeapLen    int
+	dispatched     uint64
+	compactions    uint64
+	freeEvents     []*Event
+	freeWorkers    []*worker
+	freeWaiters    []*condWaiter
+
 	collector *trace.Collector
 	metrics   *trace.Registry
+
+	// Optional scheduler observability (ObserveScheduler). Nil by
+	// default so existing experiments' metrics artifacts are unchanged.
+	obsHeap        *trace.Gauge
+	obsCanceled    *trace.Gauge
+	obsDispatched  *trace.Counter
+	obsCompactions *trace.Counter
 }
 
 // NewEngine returns an engine with the clock at zero and no events.
@@ -106,6 +207,34 @@ func (e *Engine) Trace() *trace.Collector { return e.collector }
 // components register counters, gauges and utilizations here at
 // construction time and update them as the model runs.
 func (e *Engine) Metrics() *trace.Registry { return e.metrics }
+
+// ObserveScheduler registers the scheduler's own health metrics —
+// "sim/event_heap_len", "sim/event_heap_canceled", "sim/events_dispatched",
+// "sim/compactions" — in the metrics registry and, when the trace
+// collector is enabled, samples heap occupancy as a counter track every
+// few thousand dispatches. Off by default so that artifacts of existing
+// experiments stay byte-identical; the scalesweep harness turns it on.
+func (e *Engine) ObserveScheduler() {
+	e.obsHeap = e.metrics.Gauge("sim/event_heap_len")
+	e.obsCanceled = e.metrics.Gauge("sim/event_heap_canceled")
+	e.obsDispatched = e.metrics.Counter("sim/events_dispatched")
+	e.obsCompactions = e.metrics.Counter("sim/compactions")
+	e.obsHeap.Set(float64(len(e.events)))
+	e.obsCanceled.Set(float64(e.canceledInHeap))
+}
+
+// SchedStats reports the scheduler's internal occupancy and reuse state.
+func (e *Engine) SchedStats() SchedStats {
+	return SchedStats{
+		HeapLen:      len(e.events),
+		HeapCanceled: e.canceledInHeap,
+		PeakHeapLen:  e.peakHeapLen,
+		Dispatched:   e.dispatched,
+		Compactions:  e.compactions,
+		FreeEvents:   len(e.freeEvents),
+		FreeWorkers:  len(e.freeWorkers),
+	}
+}
 
 // TraceBegin opens a span at the current virtual time. It pairs with a
 // later TraceEnd with the same component and name.
@@ -148,15 +277,53 @@ func (e *Engine) MetricsSnapshot() trace.Snapshot {
 	return e.metrics.Snapshot(int64(e.now))
 }
 
+// newEvent pulls an event from the free list (pooled) or allocates one,
+// stamps it with the next sequence number, and pushes it on the heap.
+func (e *Engine) newEvent(t Time, pooled bool) *Event {
+	var ev *Event
+	if n := len(e.freeEvents); pooled && n > 0 {
+		ev = e.freeEvents[n-1]
+		e.freeEvents[n-1] = nil
+		e.freeEvents = e.freeEvents[:n-1]
+		ev.canceled = false
+	} else {
+		ev = &Event{}
+	}
+	ev.eng = e
+	ev.at = t
+	ev.seq = e.seq
+	ev.pooled = pooled
+	e.seq++
+	e.heapPush(ev)
+	if n := len(e.events); n > e.peakHeapLen {
+		e.peakHeapLen = n
+	}
+	if e.obsHeap != nil {
+		e.obsHeap.Set(float64(len(e.events)))
+	}
+	return ev
+}
+
+// recycle drops an event's references once it has left the heap. Pooled
+// events return to the free list for reuse; public events just release
+// their callback so held pointers cannot pin dead closures.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.proc = nil
+	ev.waiter = nil
+	if ev.pooled {
+		e.freeEvents = append(e.freeEvents, ev)
+	}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: that is always a model bug.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
+	ev := e.newEvent(t, false)
+	ev.fn = fn
 	return ev
 }
 
@@ -170,19 +337,132 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// postFn schedules an internal, pooled callback event. The returned event
+// must not escape the package: it is recycled as soon as it leaves the
+// heap.
+func (e *Engine) postFn(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.newEvent(e.now+d, true)
+	ev.fn = fn
+	return ev
+}
+
+// postWake schedules an internal, pooled "resume this process" event.
+// Unlike an After closure it captures nothing, so the steady-state
+// sleep/wake path does not allocate.
+func (e *Engine) postWake(d Time, p *Proc) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.newEvent(e.now+d, true)
+	ev.proc = p
+	return ev
+}
+
+// postTimeout schedules an internal, pooled condition-timeout event. The
+// waiter record carries the owning Cond, keeping Event one field smaller.
+func (e *Engine) postTimeout(d Time, w *condWaiter) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.newEvent(e.now+d, true)
+	ev.waiter = w
+	return ev
+}
+
+// noteCancel accounts for an in-heap cancellation and sweeps the heap once
+// canceled entries exceed a fraction of it. Without the sweep, cancel-heavy
+// workloads (retransmit timers that almost always get acked first) keep
+// dead entries resident until their distant deadlines pop, growing the heap
+// without bound and slowing every push and pop.
+func (e *Engine) noteCancel() {
+	e.canceledInHeap++
+	if e.obsCanceled != nil {
+		e.obsCanceled.Set(float64(e.canceledInHeap))
+	}
+	if e.canceledInHeap >= compactMinCanceled &&
+		e.canceledInHeap*compactFractionDen >= len(e.events)*compactMinFraction {
+		e.compact()
+	}
+}
+
+// compact removes every canceled event from the heap in one O(n) pass and
+// restores the heap invariant. Relative order of live events is preserved:
+// ordering is (time, seq), which filtering does not disturb.
+func (e *Engine) compact() {
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			ev.index = -1
+			e.recycle(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = kept
+	for i, ev := range e.events {
+		ev.index = i
+	}
+	for i := len(e.events)/2 - 1; i >= 0; i-- {
+		e.events.down(i)
+	}
+	e.canceledInHeap = 0
+	e.compactions++
+	if e.obsHeap != nil {
+		e.obsHeap.Set(float64(len(e.events)))
+		e.obsCanceled.Set(0)
+		e.obsCompactions.Add(1)
+	}
+}
+
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+	for len(e.events) > 0 {
+		ev := e.heapPop()
 		if ev.canceled {
+			e.canceledInHeap--
+			if e.obsCanceled != nil {
+				e.obsCanceled.Set(float64(e.canceledInHeap))
+			}
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		e.dispatched++
+		if e.obsDispatched != nil {
+			e.obsDispatched.Add(1)
+			e.obsHeap.Set(float64(len(e.events)))
+			if e.dispatched%heapSampleInterval == 0 {
+				e.TraceCounter("sim", "sched", "event_heap", float64(len(e.events)))
+			}
+		}
+		switch {
+		case ev.fn != nil:
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+		case ev.proc != nil:
+			p := ev.proc
+			e.recycle(ev)
+			e.schedule(p)
+		case ev.waiter != nil:
+			w := ev.waiter
+			e.recycle(ev)
+			w.c.expire(w)
+		default:
+			// A canceled-after-pop slot cannot occur (cancellation is
+			// checked above), so an empty event is a scheduler bug.
+			panic("sim: empty event dispatched")
+		}
 		return true
 	}
 	return false
@@ -200,11 +480,13 @@ func (e *Engine) Run() error {
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 // It returns a deadlock error under the same conditions as Run if the event
-// queue drains early.
+// queue drains early. If Stop fires inside an event, the clock stays at the
+// stopping event's time — it does NOT advance to t, so a Stop-at-threshold
+// model observes the time it stopped at.
 func (e *Engine) RunUntil(t Time) error {
 	e.stopped = false
 	for !e.stopped {
-		if e.events.Len() == 0 {
+		if len(e.events) == 0 {
 			if err := e.checkStall(); err != nil {
 				return err
 			}
@@ -215,14 +497,14 @@ func (e *Engine) RunUntil(t Time) error {
 		}
 		e.Step()
 	}
-	if e.now < t {
+	if !e.stopped && e.now < t {
 		e.now = t
 	}
 	return nil
 }
 
 func (e *Engine) checkStall() error {
-	if e.events.Len() > 0 {
+	if e.Pending() > 0 {
 		return nil
 	}
 	var parked []string
@@ -234,19 +516,15 @@ func (e *Engine) checkStall() error {
 	if len(parked) == 0 {
 		return nil
 	}
+	sort.Strings(parked)
 	return fmt.Errorf("sim: deadlock at %v: %d process(es) parked forever: %v",
 		e.now, len(parked), parked)
 }
 
-// Pending reports the number of scheduled (non-canceled) events.
+// Pending reports the number of scheduled (non-canceled) events. It is
+// O(1): the engine tracks in-heap cancellations as they happen.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
+	return len(e.events) - e.canceledInHeap
 }
 
 // Parked returns a description of every live process currently parked,

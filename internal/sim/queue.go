@@ -4,10 +4,15 @@ package sim
 // event callbacks, which may Put without blocking). Gets block until an
 // item is available; items are delivered in insertion order and each item
 // goes to exactly one getter.
+//
+// Storage is a slice with a moving head index rather than a re-sliced
+// front: the backing array is reused once the queue drains, so a
+// steady-state put/get cycle performs no allocation.
 type Queue[T any] struct {
 	eng   *Engine
 	name  string
 	items []T
+	head  int
 	cond  *Cond
 }
 
@@ -23,25 +28,35 @@ func (q *Queue[T]) Put(v T) {
 	q.cond.Signal()
 }
 
+// pop removes and returns the head item. Callers must ensure the queue is
+// non-empty.
+func (q *Queue[T]) pop() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Get removes and returns the oldest item, blocking p until one exists.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		q.cond.Wait(p)
 	}
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v
+	return q.pop()
 }
 
 // GetTimeout is like Get but gives up after d, reporting ok=false.
 func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
 	deadline := q.eng.Now() + d
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		remain := deadline - q.eng.Now()
 		if remain <= 0 || !q.cond.WaitTimeout(p, remain) {
-			if len(q.items) > 0 {
+			if q.Len() > 0 {
 				break // an item arrived exactly at the deadline
 			}
 			return v, false
@@ -52,23 +67,19 @@ func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
 
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.pop(), true
 }
 
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }

@@ -13,7 +13,12 @@ type Resource struct {
 	eng    *Engine
 	name   string
 	holder *Proc
-	queue  []*Proc
+	// Waiter FIFO with a moving head, so the backing array is reused
+	// once the queue drains and steady-state handoff does not allocate.
+	queue []*Proc
+	qhead int
+	// parkLabel is precomputed so contended Acquire does not allocate.
+	parkLabel string
 	// accounting
 	busySince Time
 	busyTotal Time
@@ -23,7 +28,7 @@ type Resource struct {
 
 // NewResource returns an idle resource named name.
 func NewResource(eng *Engine, name string) *Resource {
-	return &Resource{eng: eng, name: name}
+	return &Resource{eng: eng, name: name, parkLabel: "acquire " + name}
 }
 
 // Observe attaches a metrics utilization tracker: the resource marks it
@@ -41,7 +46,7 @@ func (r *Resource) Acquire(p *Proc) {
 		panic(fmt.Sprintf("sim: %s re-acquired by holder %s", r.name, p.Name()))
 	}
 	r.queue = append(r.queue, p)
-	p.park("acquire " + r.name)
+	p.park(r.parkLabel)
 }
 
 // TryAcquire acquires the resource if it is free, without blocking. It
@@ -76,14 +81,19 @@ func (r *Resource) Release(p *Proc) {
 	if r.util != nil {
 		r.util.IdleAt(int64(r.eng.Now()))
 	}
-	for len(r.queue) > 0 {
-		next := r.queue[0]
-		r.queue = r.queue[1:]
+	for r.qhead < len(r.queue) {
+		next := r.queue[r.qhead]
+		r.queue[r.qhead] = nil
+		r.qhead++
+		if r.qhead == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.qhead = 0
+		}
 		if !r.eng.alive(next) || next.killed {
 			continue
 		}
 		r.grant(next)
-		r.eng.After(0, func() { r.eng.schedule(next) })
+		r.eng.postWake(0, next)
 		return
 	}
 }
@@ -110,7 +120,7 @@ func (r *Resource) Use(p *Proc, d Time) {
 func (r *Resource) Busy() bool { return r.holder != nil }
 
 // QueueLen reports the number of processes waiting to acquire.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.qhead }
 
 // Utilization reports the fraction of virtual time the resource has been
 // held, up to the current time.

@@ -80,6 +80,11 @@ func (g *Gauge) Set(v float64) {
 	g.set = true
 }
 
+// Add shifts the current value by delta, updating the high-water mark.
+// It is the natural API for occupancy-style gauges (queue depths, heap
+// residency) tracked incrementally from hot paths.
+func (g *Gauge) Add(delta float64) { g.Set(g.v + delta) }
+
 // Value returns the last value set.
 func (g *Gauge) Value() float64 { return g.v }
 

@@ -41,6 +41,10 @@ type Options struct {
 	// The paper's configuration is false: CRC errors are detected but
 	// never recovered (§4.2).
 	Reliable bool
+	// Reliability overrides the link-layer tuning when Reliable is set.
+	// Nil means lanai.DefaultReliability(). Large clusters want a bigger
+	// retransmit budget and a delayed ack (see ReliabilityConfig).
+	Reliability *lanai.ReliabilityConfig
 	// Faults attaches a deterministic fault plan to the fabric, the
 	// Ethernet side channel, and the nodes (scheduled crash/restart).
 	// See internal/fault and docs/ROBUSTNESS.md.
@@ -101,10 +105,14 @@ func NewCluster(eng *sim.Engine, opts Options) (*Cluster, error) {
 		}
 	}
 
+	relCfg := lanai.DefaultReliability()
+	if opts.Reliability != nil {
+		relCfg = *opts.Reliability
+	}
 	for i, nic := range c.Net.NICs() {
 		node := newNode(eng, prof, i, nic, memBytes, c.Ether)
 		if opts.Reliable {
-			if _, err := node.Board.EnableReliability(lanai.DefaultReliability()); err != nil {
+			if _, err := node.Board.EnableReliability(relCfg); err != nil {
 				return nil, err
 			}
 		}
@@ -155,9 +163,21 @@ func (c *Cluster) RestartNode(node int) error {
 }
 
 // Boot schedules the boot sequence; it completes as the simulation runs.
+// Single-switch clusters probe from every node (the exhaustive mapper);
+// switch chains use the centralized mapper — one host explores the
+// fabric and distributes computed routes — because per-node blind
+// probing grows exponentially with chain depth.
 func (c *Cluster) Boot() {
 	depth := len(c.Net.Switches()) + 1
-	mapping := myrinet.StartMapping(c.Net, depth, 20*sim.Microsecond)
+	var mapping *myrinet.Mapping
+	if len(c.Net.Switches()) > 1 {
+		// A probe's reply crosses up to 2*depth switch hops; a timeout
+		// shorter than that round trip reads distant hosts as absent.
+		timeout := 20*sim.Microsecond + sim.Time(2*depth)*c.Prof.SwitchLatency
+		mapping = myrinet.StartMappingCentral(c.Net, depth, timeout)
+	} else {
+		mapping = myrinet.StartMapping(c.Net, depth, 20*sim.Microsecond)
+	}
 	c.Eng.Go("cluster:boot", func(p *simProc) {
 		mapping.Wait(p)
 		tables := mapping.Tables()
