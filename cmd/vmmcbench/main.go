@@ -9,11 +9,17 @@
 //	vmmcbench -experiment headline -trace t.json -metrics m.json
 //
 // Experiment ids: headline, fig1, fig2, fig3, fig4, tabhw, tabvrpc,
-// tabshrimp, tabrelated, extensions, ablations, faultsweep, scalesweep.
+// tabshrimp, tabrelated, extensions, ablations, faultsweep, scalesweep,
+// healsweep.
 //
 // scalesweep also reads -scale-nodes (comma-separated cluster sizes,
 // default 16,64,256) and -scale-out (path for the BENCH_scale.json
-// machine-readable artifact).
+// machine-readable artifact). healsweep reads -heal-outages
+// (comma-separated link-outage durations in microseconds, default
+// 2000,6000,12000) and -heal-out (path for the BENCH_heal.json
+// artifact, which is byte-identical across runs — every quantity in it
+// is virtual-time derived, and the sweep runs each cell twice and fails
+// on drift).
 //
 // With -trace, each run records structured events over virtual time and
 // writes a Chrome trace_event JSON file (open in chrome://tracing or
@@ -32,12 +38,30 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/sim"
 )
 
 var (
-	scaleNodes = flag.String("scale-nodes", "", "scalesweep cluster sizes, comma-separated (default 16,64,256)")
-	scaleOut   = flag.String("scale-out", "", "scalesweep: write the BENCH_scale.json artifact here")
+	scaleNodes  = flag.String("scale-nodes", "", "scalesweep cluster sizes, comma-separated (default 16,64,256)")
+	scaleOut    = flag.String("scale-out", "", "scalesweep: write the BENCH_scale.json artifact here")
+	healOutages = flag.String("heal-outages", "", "healsweep link-outage durations in microseconds, comma-separated (default 2000,6000,12000)")
+	healOut     = flag.String("heal-out", "", "healsweep: write the BENCH_heal.json artifact here")
 )
+
+func parseHealOutages(s string) ([]sim.Time, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var outs []sim.Time
+	for _, part := range strings.Split(s, ",") {
+		us, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || us <= 0 {
+			return nil, fmt.Errorf("bad -heal-outages entry %q", part)
+		}
+		outs = append(outs, sim.Time(us)*sim.Microsecond)
+	}
+	return outs, nil
+}
 
 func parseScaleNodes(s string) ([]int, error) {
 	if s == "" {
@@ -179,6 +203,18 @@ var experiments = []experiment{
 			return err
 		}
 		t, err := bench.ScaleSweep(bench.ScaleConfig{Nodes: nodes, Out: *scaleOut})
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"healsweep", "self-healing: goodput vs link/switch outage on a redundant fabric", func() error {
+		outages, err := parseHealOutages(*healOutages)
+		if err != nil {
+			return err
+		}
+		t, err := bench.HealSweep(bench.HealConfigSweep{Outages: outages, Out: *healOut})
 		if err != nil {
 			return err
 		}

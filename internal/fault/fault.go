@@ -92,16 +92,16 @@ func (o *outages) down(now sim.Time) bool {
 func NewPlan(eng *sim.Engine, seed uint64) *Plan {
 	m := eng.Metrics()
 	return &Plan{
-		eng:         eng,
-		state:       seed,
-		links:       make(map[int]*linkFaults),
-		switches:    make(map[int]*outages),
-		mCorrupt:    m.Counter("fault/corruptions"),
-		mLinkDrops:  m.Counter("fault/link_drops"),
+		eng:          eng,
+		state:        seed,
+		links:        make(map[int]*linkFaults),
+		switches:     make(map[int]*outages),
+		mCorrupt:     m.Counter("fault/corruptions"),
+		mLinkDrops:   m.Counter("fault/link_drops"),
 		mSwitchDrops: m.Counter("fault/switch_drops"),
-		mEtherDrops: m.Counter("fault/ether_drops"),
-		mCrashes:    m.Counter("fault/node_crashes"),
-		mRestarts:   m.Counter("fault/node_restarts"),
+		mEtherDrops:  m.Counter("fault/ether_drops"),
+		mCrashes:     m.Counter("fault/node_crashes"),
+		mRestarts:    m.Counter("fault/node_restarts"),
 	}
 }
 

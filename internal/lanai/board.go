@@ -41,6 +41,11 @@ type Board struct {
 	// onUnreachable fires when the reliability layer exhausts a
 	// destination's retransmit budget; the route identifies the peer.
 	onUnreachable func(route []byte)
+	// rawFilter, when set, sees every arriving packet before the
+	// reliability layer; returning true consumes the packet. The vmmc
+	// self-healing layer uses it for mapping probes and replies, which are
+	// not link-layer framed and must bypass the go-back-N filter.
+	rawFilter func(p *sim.Proc, pk *myrinet.Packet) bool
 
 	interrupts  int64
 	mInterrupts *trace.Counter
@@ -169,6 +174,14 @@ func (b *Board) SendPacket(p *sim.Proc, route []byte, payload []byte) error {
 // reliability layer declares a destination unreachable.
 func (b *Board) SetUnreachableHandler(fn func(route []byte)) { b.onUnreachable = fn }
 
+// SetRawFilter registers a tap consulted on every arriving packet, after
+// the receive DMA is charged but before the reliability layer. Returning
+// true consumes the packet. The filter runs on whichever process drains
+// the RX queue (the LCP's receive process), so it keeps working while the
+// node's main control loop is blocked elsewhere — which is exactly when
+// the self-healing layer needs its mapping responder alive.
+func (b *Board) SetRawFilter(fn func(p *sim.Proc, pk *myrinet.Packet) bool) { b.rawFilter = fn }
+
 // Receive drains packets from the wire until one is deliverable upward and
 // returns its payload bytes (after link-layer filtering when reliability
 // is on) together with the raw packet. Without the reliability layer every
@@ -178,6 +191,9 @@ func (b *Board) Receive(p *sim.Proc) ([]byte, *myrinet.Packet) {
 	for {
 		pk := b.NIC.RX.Get(p)
 		b.RecvPacket(p, pk)
+		if b.rawFilter != nil && b.rawFilter(p, pk) {
+			continue
+		}
 		if b.reliable == nil {
 			return pk.Payload, pk
 		}

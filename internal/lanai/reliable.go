@@ -39,14 +39,23 @@ var ErrPeerUnreachable = errors.New("lanai: peer unreachable, retransmit budget 
 //   - after MaxRetries rounds with no acknowledgement the destination is
 //     declared unreachable: the window state is dropped and pending and
 //     future sends fail with ErrPeerUnreachable instead of retrying
-//     forever;
+//     forever — unless a stall handler (the self-healing layer) claims
+//     the window, in which case it is suspended: packets stay buffered,
+//     senders stay parked, and the handler later resumes the window on a
+//     recovered (possibly different) route or abandons it;
 //   - senders stall when the window fills, bounding SRAM use.
 type ReliableLink struct {
 	board *Board
 	cfg   ReliabilityConfig
 
-	// Per destination NIC id.
+	// tx holds the per-destination transmit windows, keyed by a stable
+	// window key: the route-hash of the route the conversation started
+	// on. The key rides in every data packet and is echoed in acks, so a
+	// heal-driven route swap never strands an in-flight ack.
 	tx map[int]*txState
+	// routeKey aliases the hash of a window's *current* route to its
+	// stable key; SwapRoute rewrites the alias, not the window.
+	routeKey map[int]int
 	// Per source NIC id: next expected sequence.
 	rxExpected map[int]uint32
 	// Per source NIC id: armed delayed-ack state (AckDelay > 0 only).
@@ -54,6 +63,10 @@ type ReliableLink struct {
 
 	windowFree *sim.Cond
 	sramOff    int
+
+	// onStall, when set, is consulted instead of declaring a destination
+	// unreachable; see SetStallHandler.
+	onStall func(route []byte) bool
 
 	// Stats.
 	Retransmits  int64
@@ -65,6 +78,7 @@ type ReliableLink struct {
 	Deliveries   int64
 	CorruptDrops int64
 	Unreachables int64
+	Suspends     int64
 
 	mRetx, mUnreachable *trace.Counter
 }
@@ -125,6 +139,9 @@ type pendingAck struct {
 }
 
 type txState struct {
+	// key is the stable window key (see ReliableLink.tx); route is the
+	// current route, which a heal may swap while the window lives.
+	key     int
 	route   []byte
 	nextSeq uint32
 	// unacked[0] is the oldest in-flight packet.
@@ -139,6 +156,9 @@ type txState struct {
 	// dead marks a window whose retransmit budget was exhausted; pending
 	// senders wake and fail, and the state is dropped from the tx map.
 	dead bool
+	// suspended marks a window parked by the stall handler: no timer, no
+	// wire traffic, packets held for a resume on a healed route.
+	suspended bool
 }
 
 type bufferedPacket struct {
@@ -184,6 +204,7 @@ func (b *Board) EnableReliability(cfg ReliabilityConfig) (*ReliableLink, error) 
 		board:        b,
 		cfg:          cfg,
 		tx:           make(map[int]*txState),
+		routeKey:     make(map[int]int),
 		rxExpected:   make(map[int]uint32),
 		rxAckPending: make(map[int]*pendingAck),
 		windowFree:   sim.NewCond(b.Eng),
@@ -216,11 +237,12 @@ func wrapLink(typ byte, sender int, seq uint32, winKey uint32, payload []byte) [
 // It blocks while the window is full and fails with ErrPeerUnreachable
 // when the destination's retransmit budget is exhausted while waiting.
 func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) error {
-	dst := rl.destOf(route)
-	st, ok := rl.tx[dst]
+	st, ok := rl.stateFor(route)
 	if !ok {
-		st = &txState{route: append([]byte(nil), route...)}
-		rl.tx[dst] = st
+		key := rl.destOf(route)
+		st = &txState{key: key, route: append([]byte(nil), route...)}
+		rl.tx[key] = st
+		rl.routeKey[key] = key
 	}
 	for len(st.unacked) >= rl.cfg.Window {
 		rl.WindowStalls++
@@ -242,9 +264,25 @@ func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) error {
 	})
 	rl.armTimer(st)
 	rl.PayloadBytes += int64(len(payload))
+	if st.suspended {
+		// The route is known dead and a heal is pending: buffer only.
+		// Resume retransmits the whole window on the healed route, so
+		// nothing is lost by skipping the doomed injection.
+		return nil
+	}
 	rl.board.NetSend.TransferWith(p, 0, rl.board.Prof.NetSend)
-	rl.board.NIC.Send(p, route, wrapLink(linkData, rl.board.NIC.ID, seq, uint32(dst), payload))
+	rl.board.NIC.Send(p, st.route, wrapLink(linkData, rl.board.NIC.ID, seq, uint32(st.key), payload))
 	return nil
+}
+
+// stateFor resolves the transmit window a route currently maps to.
+func (rl *ReliableLink) stateFor(route []byte) (*txState, bool) {
+	key, ok := rl.routeKey[rl.destOf(route)]
+	if !ok {
+		return nil, false
+	}
+	st, ok := rl.tx[key]
+	return st, ok
 }
 
 // destOf resolves the destination NIC of a route for window bookkeeping.
@@ -280,7 +318,7 @@ func (rl *ReliableLink) rto(st *txState) sim.Time {
 }
 
 func (rl *ReliableLink) armTimer(st *txState) {
-	if st.timer != nil || len(st.unacked) == 0 || st.dead {
+	if st.timer != nil || len(st.unacked) == 0 || st.dead || st.suspended {
 		return
 	}
 	st.timer = rl.board.Eng.After(rl.rto(st), func() {
@@ -291,22 +329,31 @@ func (rl *ReliableLink) armTimer(st *txState) {
 
 // retransmit resends the whole unacknowledged window (go-back-N). Each
 // timer-driven round consumes one unit of the retransmit budget; the
-// budget resets whenever an ack makes progress.
+// budget resets whenever an ack makes progress. When the budget runs out,
+// the stall handler (if any) may claim the window for healing instead of
+// the terminal unreachable declaration.
 func (rl *ReliableLink) retransmit(st *txState) {
-	if len(st.unacked) == 0 || st.dead {
+	if len(st.unacked) == 0 || st.dead || st.suspended {
 		return
 	}
 	if st.retries >= rl.cfg.MaxRetries {
+		if rl.onStall != nil && rl.onStall(append([]byte(nil), st.route...)) {
+			rl.suspend(st)
+			return
+		}
 		rl.declareUnreachable(st)
 		return
 	}
 	st.retries++
 	rl.board.Eng.Go(fmt.Sprintf("lanai%d:retx", rl.board.NIC.ID), func(p *sim.Proc) {
-		key := uint32(rl.destOf(st.route))
+		key := uint32(st.key)
 		// Snapshot: acks arriving during the resend sleeps trim the live
 		// window; the backing array keeps the snapshot elements valid.
 		win := st.unacked
 		for i := range win {
+			if st.dead || st.suspended {
+				return
+			}
 			bp := &win[i]
 			bp.retx = true
 			rl.Retransmits++
@@ -319,23 +366,48 @@ func (rl *ReliableLink) retransmit(st *txState) {
 	})
 }
 
+// suspend parks a window whose retransmit budget ran out while a heal is
+// pending: the timer stops, the unacked packets stay buffered, and senders
+// keep queueing behind the (possibly full) window instead of failing.
+func (rl *ReliableLink) suspend(st *txState) {
+	st.suspended = true
+	st.retries = 0
+	if st.timer != nil {
+		st.timer.Cancel()
+		st.timer = nil
+	}
+	rl.Suspends++
+	rl.board.Eng.TraceInstant(fmt.Sprintf("lanai%d", rl.board.NIC.ID), "rl", "window_suspended")
+}
+
 // declareUnreachable gives up on a destination: the window state is
 // discarded (a post-repair send restarts at sequence zero) and every
 // sender parked on the full window wakes up to fail.
 func (rl *ReliableLink) declareUnreachable(st *txState) {
 	st.dead = true
+	st.suspended = false
 	st.unacked = nil
 	if st.timer != nil {
 		st.timer.Cancel()
 		st.timer = nil
 	}
-	delete(rl.tx, rl.destOf(st.route))
+	rl.dropState(st)
 	rl.Unreachables++
 	rl.mUnreachable.Add(1)
 	rl.board.Eng.TraceInstant(fmt.Sprintf("lanai%d", rl.board.NIC.ID), "rl", "peer_unreachable")
 	rl.windowFree.Broadcast()
 	if rl.board.onUnreachable != nil {
 		rl.board.onUnreachable(st.route)
+	}
+}
+
+// dropState removes a window and every route alias pointing at it.
+func (rl *ReliableLink) dropState(st *txState) {
+	delete(rl.tx, st.key)
+	for k, v := range rl.routeKey {
+		if v == st.key {
+			delete(rl.routeKey, k)
+		}
 	}
 }
 
@@ -391,6 +463,7 @@ func (rl *ReliableLink) sampleRTT(st *txState, rtt sim.Time) {
 func (rl *ReliableLink) Reset() {
 	for key, st := range rl.tx {
 		st.dead = true
+		st.suspended = false
 		st.unacked = nil
 		if st.timer != nil {
 			st.timer.Cancel()
@@ -398,6 +471,7 @@ func (rl *ReliableLink) Reset() {
 		}
 		delete(rl.tx, key)
 	}
+	rl.routeKey = make(map[int]int)
 	rl.rxExpected = make(map[int]uint32)
 	for sender := range rl.rxAckPending {
 		rl.cancelDelayedAck(sender)
@@ -410,18 +484,70 @@ func (rl *ReliableLink) Reset() {
 // call this when a peer restarts, so its fresh sequence numbers are
 // accepted (the restart announcement of a real implementation).
 func (rl *ReliableLink) ResetPeer(route []byte, nic int) {
-	if st, ok := rl.tx[rl.destOf(route)]; ok {
+	if st, ok := rl.stateFor(route); ok {
 		st.dead = true
+		st.suspended = false
 		st.unacked = nil
 		if st.timer != nil {
 			st.timer.Cancel()
 			st.timer = nil
 		}
-		delete(rl.tx, rl.destOf(route))
+		rl.dropState(st)
 		rl.windowFree.Broadcast()
 	}
 	delete(rl.rxExpected, nic)
 	rl.cancelDelayedAck(nic)
+}
+
+// SetStallHandler registers the heal hook consulted when a destination's
+// retransmit budget runs out. Returning true suspends the window — the
+// buffered packets and parked senders wait for a heal — instead of
+// declaring the peer unreachable; the caller is then responsible for
+// eventually calling Resume or Abandon. The handler runs in event context
+// and must not block; it receives a copy of the window's current route.
+func (rl *ReliableLink) SetStallHandler(fn func(route []byte) bool) { rl.onStall = fn }
+
+// SwapRoute re-routes the window currently reached via old onto a new
+// route without disturbing its sequence state: buffered packets retransmit
+// on the new path and in-flight acks still resolve, because the window key
+// carried in every data packet is stable across swaps. It reports whether
+// a window existed for old.
+func (rl *ReliableLink) SwapRoute(old, new []byte) bool {
+	st, ok := rl.stateFor(old)
+	if !ok {
+		return false
+	}
+	delete(rl.routeKey, rl.destOf(st.route))
+	st.route = append([]byte(nil), new...)
+	rl.routeKey[rl.destOf(new)] = st.key
+	return true
+}
+
+// Resume reactivates a suspended window after a heal: the retransmit
+// budget resets and the whole unacked window goes out immediately on the
+// current (possibly swapped) route. Windows that are not suspended are
+// left untouched.
+func (rl *ReliableLink) Resume(route []byte) {
+	st, ok := rl.stateFor(route)
+	if !ok || !st.suspended {
+		return
+	}
+	st.suspended = false
+	st.retries = 0
+	rl.board.Eng.TraceInstant(fmt.Sprintf("lanai%d", rl.board.NIC.ID), "rl", "window_resumed")
+	if len(st.unacked) > 0 {
+		rl.retransmit(st)
+	}
+}
+
+// Abandon gives up on a suspended window: the heal could not recover a
+// route within its budget. Equivalent to the retransmit budget running out
+// with no stall handler — parked and future senders fail with
+// ErrPeerUnreachable.
+func (rl *ReliableLink) Abandon(route []byte) {
+	if st, ok := rl.stateFor(route); ok {
+		rl.declareUnreachable(st)
+	}
 }
 
 // receive filters one raw packet through the link layer. It returns the

@@ -10,8 +10,12 @@ import (
 // The network-mapping control program (§4.3): at boot, every node loads a
 // mapping LCP that discovers routes to all reachable hosts by exchanging
 // probe packets, then hands the static route tables to the VMMC LCP that
-// replaces it. No dynamic remapping happens afterwards; topology changes
-// require a restart.
+// replaces it. The paper stops there — its tables are static for the life
+// of the machine. This reproduction additionally keeps the central
+// mapper's machinery alive after boot as a background remap service
+// (remap.go, a deliberate extension beyond the paper): the vmmc
+// self-healing layer re-runs the probe round when the reliable link
+// reports a stall, so topology changes no longer require a restart.
 //
 // Discovery is honest: the mapper only learns what probe packets tell it.
 // A probe carries a candidate route; if it reaches a host, that host's
@@ -252,86 +256,107 @@ func StartMappingCentral(net *Network, maxDepth int, probeTimeout sim.Time) *Map
 			}
 		}
 
-		if _, direct := probe(nil); !direct {
-			// BFS over switch prefixes with fingerprint dedup and the
-			// silent cutoff.
-			type prefix struct {
-				route  []byte
-				silent int // consecutive reply-less levels ending here
-			}
-			const silentLimit = 2
-			seen := map[string]bool{} // fingerprints of explored switches
-			queue := []prefix{{route: nil, silent: 1}}
-			for len(queue) > 0 {
-				e := queue[0]
-				queue = queue[1:]
-				if len(e.route) >= maxDepth {
-					continue
-				}
-				var fp [8]int
-				anyReply := false
-				var silentKids [][]byte
-				for port := 0; port < 8; port++ {
-					ext := make([]byte, len(e.route)+1)
-					copy(ext, e.route)
-					ext[len(e.route)] = byte(port)
-					if id, ok := probe(ext); ok {
-						fp[port] = id + 1
-						anyReply = true
-					} else {
-						fp[port] = 0
-						silentKids = append(silentKids, ext)
-					}
-				}
-				run := e.silent + 1
-				if anyReply {
-					key := fmt.Sprint(fp)
-					if seen[key] {
-						continue // a walk back into an explored switch
-					}
-					seen[key] = true
-					run = 1
-				}
-				if run <= silentLimit {
-					for _, k := range silentKids {
-						queue = append(queue, prefix{route: k, silent: run})
-					}
-				}
-			}
-		}
-
-		// Compute every pairwise table from the tree. Probe routes from a
-		// fixed prober are BFS-minimal, so equal port prefixes mean the
-		// same switch.
-		hosts := []int{prober.ID}
-		for h := range forward {
-			hosts = append(hosts, h)
-		}
-		for _, i := range hosts {
-			table := RouteTable{}
-			for _, j := range hosts {
-				if i == j {
-					continue
-				}
-				switch {
-				case i == prober.ID:
-					table[j] = append([]byte(nil), forward[j]...)
-				case j == prober.ID:
-					table[j] = append([]byte(nil), back[i]...)
-				default:
-					pi, pj, ri := forward[i], forward[j], back[i]
-					c := 0
-					for c < len(pi)-1 && c < len(pj)-1 && pi[c] == pj[c] {
-						c++
-					}
-					route := append([]byte(nil), ri[:len(pi)-1-c]...)
-					table[j] = append(route, pj[c:]...)
-				}
-			}
-			m.tables[i] = table
-		}
+		centralExplore(probe, maxDepth)
+		m.tables = composeCentralTables(prober.ID, forward, back)
 	})
 	return m
+}
+
+// centralExplore drives one central mapping round: a direct-cable check
+// followed by the BFS over switch-port prefixes with fingerprint dedup and
+// the silent cutoff. probe sends one candidate route and reports the
+// responding host (recording routes is the caller's business, via the
+// closure). Shared by the boot-time StartMappingCentral and the post-boot
+// Remap service.
+func centralExplore(probe func(route []byte) (int, bool), maxDepth int) {
+	if _, direct := probe(nil); direct {
+		return
+	}
+	// BFS over switch prefixes with fingerprint dedup and the silent
+	// cutoff.
+	type prefix struct {
+		route  []byte
+		silent int // consecutive reply-less levels ending here
+	}
+	const silentLimit = 2
+	seen := map[string]bool{} // fingerprints of explored switches
+	queue := []prefix{{route: nil, silent: 1}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if len(e.route) >= maxDepth {
+			continue
+		}
+		var fp [8]int
+		anyReply := false
+		var silentKids [][]byte
+		for port := 0; port < 8; port++ {
+			ext := make([]byte, len(e.route)+1)
+			copy(ext, e.route)
+			ext[len(e.route)] = byte(port)
+			if id, ok := probe(ext); ok {
+				fp[port] = id + 1
+				anyReply = true
+			} else {
+				fp[port] = 0
+				silentKids = append(silentKids, ext)
+			}
+		}
+		run := e.silent + 1
+		if anyReply {
+			key := fmt.Sprint(fp)
+			if seen[key] {
+				continue // a walk back into an explored switch
+			}
+			seen[key] = true
+			run = 1
+		}
+		if run <= silentLimit {
+			for _, k := range silentKids {
+				queue = append(queue, prefix{route: k, silent: run})
+			}
+		}
+	}
+}
+
+// composeCentralTables computes every pairwise table from one prober's
+// view of the fabric. Probe routes from a fixed prober are BFS-minimal, so
+// equal port prefixes mean the same switch: with P(h) the probe route to
+// host h, R(h) the reply route back, and c the longest common switch
+// prefix of P(i) and P(j), the route i->j climbs i's reply route to the
+// divergence switch and descends j's probe route.
+func composeCentralTables(proberID int, forward, back map[int][]byte) map[int]RouteTable {
+	tables := make(map[int]RouteTable)
+	hosts := []int{proberID}
+	for h := range forward {
+		if h != proberID {
+			hosts = append(hosts, h)
+		}
+	}
+	for _, i := range hosts {
+		table := RouteTable{}
+		for _, j := range hosts {
+			if i == j {
+				continue
+			}
+			switch {
+			case i == proberID:
+				table[j] = append([]byte(nil), forward[j]...)
+			case j == proberID:
+				table[j] = append([]byte(nil), back[i]...)
+			default:
+				pi, pj, ri := forward[i], forward[j], back[i]
+				c := 0
+				for c < len(pi)-1 && c < len(pj)-1 && pi[c] == pj[c] {
+					c++
+				}
+				route := append([]byte(nil), ri[:len(pi)-1-c]...)
+				table[j] = append(route, pj[c:]...)
+			}
+		}
+		tables[i] = table
+	}
+	return tables
 }
 
 // Wait parks p until mapping completes.

@@ -95,19 +95,22 @@ type Network struct {
 	nics     []*NIC
 
 	dropped     int64
+	routeDrops  int64
 	lastDrop    string
 	corruptNext int // pending bit-error injections (deprecated shim)
 
-	faults *fault.Plan
-	mDrops *trace.Counter
+	faults      *fault.Plan
+	mDrops      *trace.Counter
+	mRouteDrops *trace.Counter
 }
 
 // New returns an empty fabric.
 func New(eng *sim.Engine, prof hw.Profile) *Network {
 	return &Network{
-		eng:    eng,
-		prof:   prof,
-		mDrops: eng.Metrics().Counter("net/packets_dropped"),
+		eng:         eng,
+		prof:        prof,
+		mDrops:      eng.Metrics().Counter("net/packets_dropped"),
+		mRouteDrops: eng.Metrics().Counter("net/route_drops"),
 	}
 }
 
@@ -197,9 +200,15 @@ func (nic *NIC) SetDown(down bool) { nic.down = down }
 // Down reports whether the NIC is marked dead.
 func (nic *NIC) Down() bool { return nic.down }
 
-// Dropped reports how many packets died on invalid routes, and the last
-// drop's reason.
+// Dropped reports how many packets died in the fabric (invalid routes and
+// dead links alike), and the last drop's reason.
 func (n *Network) Dropped() (int64, string) { return n.dropped, n.lastDrop }
+
+// RouteDrops reports how many packets died resolving their source route —
+// dangling cables, exhausted or over-long routes, nonexistent ports, dead
+// switches — as opposed to dying on a down link edge. Mirrored into the
+// "net/route_drops" metric.
+func (n *Network) RouteDrops() int64 { return n.routeDrops }
 
 // walk resolves a route from nic through the fabric. It returns the
 // destination NIC, the number of switch hops, and the per-hop ingress
@@ -284,6 +293,8 @@ func (nic *NIC) Send(p *sim.Proc, route []byte, payload []byte) {
 
 	dst, hops, ingress, reason := n.walk(nic, pk.Route)
 	if dst == nil {
+		n.routeDrops++
+		n.mRouteDrops.Add(1)
 		n.drop(nic, reason)
 		return
 	}
@@ -311,12 +322,14 @@ func (nic *NIC) Send(p *sim.Proc, route []byte, payload []byte) {
 }
 
 // drop records a packet death with its reason in stats, metrics and trace.
+// The trace instant carries the reason, so a timeline shows *why* each
+// packet died, not just that one did.
 func (n *Network) drop(nic *NIC, reason string) {
 	n.dropped++
 	n.lastDrop = reason
 	n.mDrops.Add(1)
 	n.eng.Tracef("myrinet: packet from NIC %d dropped: %s", nic.ID, reason)
-	n.eng.TraceInstant(fmt.Sprintf("nic%d", nic.ID), "net", "packet_dropped")
+	n.eng.TraceInstant(fmt.Sprintf("nic%d", nic.ID), "net", "packet_dropped: "+reason)
 }
 
 // Stats reports packets injected by and delivered to this NIC.

@@ -1,0 +1,90 @@
+package myrinet
+
+import (
+	"repro/internal/sim"
+)
+
+// Remap is the post-boot incarnation of the network mapper — a deliberate
+// extension beyond the paper, whose tables are static after boot (§4.3).
+// Where StartMappingCentral runs dedicated mapping LCPs that the VMMC LCP
+// replaces, Remap shares the live control programs: every node's receive
+// path passes raw packets through HandlePacket (answering probes and
+// funneling replies), and a coordinator — the vmmc self-healing layer —
+// calls Probe to run one central mapping round on demand.
+//
+// Alternate-route discovery needs no extra machinery: probes crossing a
+// dead link or switch draw no reply, so the BFS simply never records the
+// dead path and the first live path it finds — through redundant trunks
+// wired with ConnectSwitches — becomes the route. A round during an outage
+// therefore yields exactly the failover tables, and a round after repair
+// converges back to the boot-time ones.
+type Remap struct {
+	net     *Network
+	replies *sim.Queue[mapReplyMsg]
+	seq     uint32
+}
+
+// NewRemap creates the shared remap state for one fabric.
+func NewRemap(net *Network) *Remap {
+	return &Remap{
+		net:     net,
+		replies: sim.NewQueue[mapReplyMsg](net.Engine(), "remap:replies"),
+	}
+}
+
+// HandlePacket lets a live control program double as a mapping responder.
+// It reports whether pk was a mapping packet (and is consumed): probes are
+// answered along the reversed ingress path, replies are funneled to the
+// prober blocked in Probe. Damaged mapping packets are consumed silently —
+// the probe times out and the prefix reads as dead, which is safe (a retry
+// happens on the next round).
+func (r *Remap) HandlePacket(p *sim.Proc, nic *NIC, pk *Packet) bool {
+	typ, seq, id, ok := decodeMapMsg(pk.Payload)
+	if !ok {
+		return false
+	}
+	if !pk.CheckCRC() {
+		return true
+	}
+	switch typ {
+	case mapProbe:
+		nic.Send(p, ReverseRoute(pk.Ingress), encodeMapMsg(mapReply, seq, uint32(nic.ID)))
+	case mapReply:
+		// The reply's route field IS the responder->prober route (the
+		// reversed probe ingress it was sent on).
+		r.replies.Put(mapReplyMsg{seq: seq, responder: int(id), ingress: pk.Route})
+	}
+	return true
+}
+
+// Probe runs one central mapping round from prober and returns fresh
+// pairwise route tables covering every host that answered. It blocks p for
+// the round's duration (every silent prefix costs one probeTimeout). The
+// sequence counter is shared across rounds, so stale replies from an
+// earlier round's timed-out probes are discarded, not mistaken for
+// answers.
+func (r *Remap) Probe(p *sim.Proc, prober *NIC, maxDepth int, probeTimeout sim.Time) map[int]RouteTable {
+	forward := map[int][]byte{} // host -> probe route from prober
+	back := map[int][]byte{}    // host -> reply route to prober
+	probe := func(route []byte) (int, bool) {
+		r.seq++
+		seq := r.seq
+		prober.Send(p, route, encodeMapMsg(mapProbe, seq, uint32(prober.ID)))
+		for {
+			reply, ok := r.replies.GetTimeout(p, probeTimeout)
+			if !ok {
+				return 0, false
+			}
+			if reply.seq != seq {
+				continue // stale reply from a timed-out probe
+			}
+			if _, dup := forward[reply.responder]; !dup {
+				forward[reply.responder] = append([]byte(nil), route...)
+				back[reply.responder] = append([]byte(nil), reply.ingress...)
+			}
+			return reply.responder, true
+		}
+	}
+	centralExplore(probe, maxDepth)
+	return composeCentralTables(prober.ID, forward, back)
+}

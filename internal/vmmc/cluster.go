@@ -25,7 +25,13 @@ type Cluster struct {
 	booted   bool
 	bootErr  error
 	bootCond *sim.Cond
+
+	healer *HealService
 }
+
+// Healer returns the self-healing service, or nil when Options.Heal was
+// not set.
+func (c *Cluster) Healer() *HealService { return c.healer }
 
 // Options configure a cluster.
 type Options struct {
@@ -49,6 +55,19 @@ type Options struct {
 	// Ethernet side channel, and the nodes (scheduled crash/restart).
 	// See internal/fault and docs/ROBUSTNESS.md.
 	Faults *fault.Plan
+	// Heal enables the self-healing layer (live remapping, route failover,
+	// transparent transfer resumption — a deliberate extension beyond the
+	// paper; see docs/ROBUSTNESS.md). Requires Reliable: healing works by
+	// suspending and resuming stalled go-back-N windows. Nil (the default)
+	// keeps the paper's static-route behavior, so existing benchmarks are
+	// byte-identical with healing off.
+	Heal *HealConfig
+	// BuildFabric overrides the default topology: it receives the empty
+	// network and must add switches, add exactly `nodes` NICs (in node-ID
+	// order) and attach them. Use it to wire redundant fabrics — multiple
+	// trunks between edge switches — that give the heal layer alternate
+	// routes to fail over to.
+	BuildFabric func(net *myrinet.Network, nodes int) error
 }
 
 // hostsPerSwitch leaves two ports per 8-port switch for trunking.
@@ -78,7 +97,14 @@ func NewCluster(eng *sim.Engine, opts Options) (*Cluster, error) {
 		bootCond: sim.NewCond(eng),
 	}
 
-	if opts.Nodes <= 8 {
+	if opts.BuildFabric != nil {
+		if err := opts.BuildFabric(c.Net, opts.Nodes); err != nil {
+			return nil, err
+		}
+		if got := len(c.Net.NICs()); got != opts.Nodes {
+			return nil, fmt.Errorf("vmmc: BuildFabric added %d NICs, want %d", got, opts.Nodes)
+		}
+	} else if opts.Nodes <= 8 {
 		sw := c.Net.AddSwitch(8)
 		for i := 0; i < opts.Nodes; i++ {
 			nic := c.Net.AddNIC()
@@ -128,6 +154,12 @@ func NewCluster(eng *sim.Engine, opts Options) (*Cluster, error) {
 			}
 		})
 	}
+	if opts.Heal != nil {
+		if !opts.Reliable {
+			return nil, fmt.Errorf("vmmc: Heal requires Reliable (healing suspends and resumes go-back-N windows)")
+		}
+		c.healer = newHealService(c, opts.Heal.withDefaults())
+	}
 	return c, nil
 }
 
@@ -138,6 +170,9 @@ func NewCluster(eng *sim.Engine, opts Options) (*Cluster, error) {
 // the paper's unreliable configuration silently loses the packets.
 func (c *Cluster) CrashNode(node int) {
 	c.Nodes[node].crash()
+	if c.healer != nil {
+		c.healer.noteCrash(node)
+	}
 }
 
 // RestartNode reboots a crashed node with a fresh LCP and daemon. Peers'
@@ -158,6 +193,9 @@ func (c *Cluster) RestartNode(node int) error {
 				rl.ResetPeer(route, n.Board.NIC.ID)
 			}
 		}
+	}
+	if c.healer != nil {
+		c.healer.noteRestart(node)
 	}
 	return nil
 }

@@ -213,45 +213,9 @@ func (d *Daemon) unexportLocal(p *simProc, proc *Process, tag uint32) error {
 // remote frames (§4.4).
 func (d *Daemon) importRemote(p *simProc, proc *Process, exporterNode int, tag uint32) (ProxyAddr, int, error) {
 	p.Sleep(daemonIPCCost)
-	d.nextReq++
-	req := importReq{
-		ReqID:    d.nextReq,
-		Importer: ProcID{Node: d.node.ID, Pid: proc.Pid},
-		Tag:      tag,
-	}
-	w := &importWait{cond: sim.NewCond(d.node.Eng)}
-	d.waiting[req.ReqID] = w
-	// Request/retry loop: the Ethernet may lose the request or the reply;
-	// the exporter answers retransmissions idempotently (see serveImport).
-	timeout := importBaseTimeout
-	for attempt := 0; !w.done; attempt++ {
-		if attempt > importMaxRetries {
-			delete(d.waiting, req.ReqID)
-			return 0, 0, ErrDaemonUnreachable
-		}
-		if attempt > 0 {
-			d.importRetries++
-			d.node.Eng.TraceInstant(fmt.Sprintf("daemon%d", d.node.ID), "daemon", "import_retry")
-		}
-		d.eth.Send(p, d.node.ID, exporterNode, "import-req", req)
-		deadline := d.node.Eng.Now() + timeout
-		for !w.done && d.node.Eng.Now() < deadline {
-			w.cond.WaitTimeout(p, deadline-d.node.Eng.Now())
-		}
-		if timeout *= 2; timeout > importMaxTimeout {
-			timeout = importMaxTimeout
-		}
-	}
-	rep := w.rep
-	if rep.Err != "" {
-		switch rep.Err {
-		case ErrDenied.Error():
-			return 0, 0, ErrDenied
-		case ErrNoSuchExport.Error():
-			return 0, 0, ErrNoSuchExport
-		default:
-			return 0, 0, fmt.Errorf("vmmc: import failed: %s", rep.Err)
-		}
+	rep, err := d.requestImport(p, proc, exporterNode, tag)
+	if err != nil {
+		return 0, 0, err
 	}
 
 	pages := len(rep.Frames)
@@ -283,6 +247,94 @@ func (d *Daemon) importRemote(p *simProc, proc *Process, exporterNode int, tag u
 		length:       rep.Length,
 	}
 	return ProxyAddr(base) << mem.PageShift, rep.Length, nil
+}
+
+// requestImport runs the Ethernet half of the import handshake: it asks
+// the exporting node's daemon for the frame list under tag and retries
+// through the lossy medium. Shared by the initial import and the
+// self-healing layer's revalidation.
+func (d *Daemon) requestImport(p *simProc, proc *Process, exporterNode int, tag uint32) (importRep, error) {
+	d.nextReq++
+	req := importReq{
+		ReqID:    d.nextReq,
+		Importer: ProcID{Node: d.node.ID, Pid: proc.Pid},
+		Tag:      tag,
+	}
+	w := &importWait{cond: sim.NewCond(d.node.Eng)}
+	d.waiting[req.ReqID] = w
+	// Request/retry loop: the Ethernet may lose the request or the reply;
+	// the exporter answers retransmissions idempotently (see serveImport).
+	timeout := importBaseTimeout
+	for attempt := 0; !w.done; attempt++ {
+		if attempt > importMaxRetries {
+			delete(d.waiting, req.ReqID)
+			return importRep{}, ErrDaemonUnreachable
+		}
+		if attempt > 0 {
+			d.importRetries++
+			d.node.Eng.TraceInstant(fmt.Sprintf("daemon%d", d.node.ID), "daemon", "import_retry")
+		}
+		d.eth.Send(p, d.node.ID, exporterNode, "import-req", req)
+		deadline := d.node.Eng.Now() + timeout
+		for !w.done && d.node.Eng.Now() < deadline {
+			w.cond.WaitTimeout(p, deadline-d.node.Eng.Now())
+		}
+		if timeout *= 2; timeout > importMaxTimeout {
+			timeout = importMaxTimeout
+		}
+	}
+	rep := w.rep
+	if rep.Err != "" {
+		switch rep.Err {
+		case ErrDenied.Error():
+			return importRep{}, ErrDenied
+		case ErrNoSuchExport.Error():
+			return importRep{}, ErrNoSuchExport
+		default:
+			return importRep{}, fmt.Errorf("vmmc: import failed: %s", rep.Err)
+		}
+	}
+	return rep, nil
+}
+
+// revalidateImport refreshes a stale import against the exporter's
+// restarted daemon: same tag, same proxy range. A fresh handshake fetches
+// the re-export's frame list and rewrites the outgoing page-table entries
+// in place, keeping the importer's proxy address stable. The re-export
+// must span the same page count — a differently sized buffer cannot alias
+// the old proxy range and surfaces as ErrBadBuffer.
+func (d *Daemon) revalidateImport(p *simProc, proc *Process, rec importRec) error {
+	p.Sleep(daemonIPCCost)
+	rep, err := d.requestImport(p, proc, rec.exporterNode, rec.tag)
+	if err != nil {
+		return err
+	}
+	if len(rep.Frames) != rec.pages {
+		// Release the exporter-side reference the handshake just took.
+		d.eth.Send(p, d.node.ID, rec.exporterNode, "unimport", unimportMsg{Tag: rec.tag})
+		return fmt.Errorf("vmmc: re-export of tag %d spans %d pages, import had %d: %w",
+			rec.tag, len(rep.Frames), rec.pages, ErrBadBuffer)
+	}
+	d.node.CPU.MMIOWriteWords(p, rec.pages)
+	for i, f := range rep.Frames {
+		vb := mem.PageSize
+		if last := rep.Length - i*mem.PageSize; last < vb {
+			vb = last
+		}
+		proc.lcpState.outPT.entries[rec.basePage+i] = outEntry{
+			valid:      true,
+			destNode:   rec.exporterNode,
+			destFrame:  f,
+			validBytes: vb,
+		}
+	}
+	rec.length = rep.Length
+	rec.stale = false
+	proc.imports[rec.basePage] = rec
+	if d.node.heal != nil {
+		d.node.heal.noteRevalidation()
+	}
+	return nil
 }
 
 // serveImport answers a remote daemon's import request. Retransmitted

@@ -1,0 +1,386 @@
+package vmmc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// HealConfig tunes the self-healing layer — a deliberate extension beyond
+// the paper, whose network maps are static after boot (§4.3). When a
+// reliable sender's window stalls (the retransmit budget runs out without
+// an ack), the heal service suspends that window instead of declaring the
+// peer dead, re-runs the central mapping round over the live fabric, swaps
+// any changed routes into every node's tables and reliable-link windows,
+// and resumes the suspended transfers. On fabrics wired with redundant
+// trunks the remap naturally discovers detours around dead links and
+// switches; on minimal fabrics it heals once the outage ends.
+type HealConfig struct {
+	// ProbeInterval is the pause between remap rounds while stalls are
+	// outstanding. Default 1ms.
+	ProbeInterval sim.Time
+	// MaxRounds bounds how many remap rounds a stalled window waits before
+	// the heal service gives up and the send surfaces ErrNodeUnreachable.
+	// Default 8.
+	MaxRounds int
+	// ProbeTimeout is the per-probe reply timeout; zero derives the boot
+	// formula (20µs + 2·depth·SwitchLatency).
+	ProbeTimeout sim.Time
+	// MaxDepth bounds probe route length; zero means switches+1, like boot.
+	MaxDepth int
+	// DistributeCost is the modeled per-node cost of installing a fresh
+	// route table (an LCP control message plus SRAM writes). Default 2µs.
+	DistributeCost sim.Time
+}
+
+func (cfg HealConfig) withDefaults() HealConfig {
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = sim.Millisecond
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 8
+	}
+	if cfg.DistributeCost == 0 {
+		cfg.DistributeCost = 2 * sim.Microsecond
+	}
+	return cfg
+}
+
+// HealStats counts the self-healing layer's activity. All fields are also
+// exported as heal/* trace metrics.
+type HealStats struct {
+	Stalls        int64 // reliable windows suspended pending a remap
+	Remaps        int64 // remap rounds that produced a usable map
+	RouteSwaps    int64 // route-table entries changed by a remap
+	Healed        int64 // suspended windows resumed on a live route
+	Abandoned     int64 // suspended windows given up after MaxRounds
+	Revalidations int64 // imports refreshed after an exporter restart
+}
+
+// stallKey identifies one suspended reliable window: a sender node and the
+// destination node it cannot reach.
+type stallKey struct {
+	node, peer int
+}
+
+type stallRec struct {
+	rounds int // remap rounds survived without this pair healing
+}
+
+type healMetrics struct {
+	stalls, remaps, swaps, healed, abandoned, revals *trace.Counter
+}
+
+// HealService is the cluster-wide self-healing coordinator. One daemon
+// process waits for stall reports, paces remap rounds, and distributes the
+// results; per-node hooks (a raw-packet filter on each board and a stall
+// handler on each reliable link) feed it.
+type HealService struct {
+	c       *Cluster
+	cfg     HealConfig
+	remap   *myrinet.Remap
+	work    *sim.Cond
+	stalled map[stallKey]*stallRec
+	// last holds the most recent remap's tables; a restarting node re-syncs
+	// its routes from here so it rejoins on the healed topology.
+	last  map[int]myrinet.RouteTable
+	stats HealStats
+	m     healMetrics
+}
+
+// newHealService wires the heal layer into every node: boards pass mapping
+// packets to the shared Remap (so live LCPs double as probe responders),
+// and reliable links report stalls instead of declaring peers dead.
+func newHealService(c *Cluster, cfg HealConfig) *HealService {
+	met := c.Eng.Metrics()
+	h := &HealService{
+		c:       c,
+		cfg:     cfg,
+		remap:   myrinet.NewRemap(c.Net),
+		work:    sim.NewCond(c.Eng),
+		stalled: make(map[stallKey]*stallRec),
+		m: healMetrics{
+			stalls:    met.Counter("heal/stalls"),
+			remaps:    met.Counter("heal/remaps"),
+			swaps:     met.Counter("heal/route_swaps"),
+			healed:    met.Counter("heal/healed"),
+			abandoned: met.Counter("heal/abandoned"),
+			revals:    met.Counter("heal/import_revalidations"),
+		},
+	}
+	for _, n := range c.Nodes {
+		n.heal = h
+		node := n
+		node.Board.SetRawFilter(func(p *simProc, pk *myrinet.Packet) bool {
+			return h.remap.HandlePacket(p, node.Board.NIC, pk)
+		})
+		node.Board.Reliable().SetStallHandler(func(route []byte) bool {
+			return h.onStall(node, route)
+		})
+	}
+	proc := c.Eng.Go("heal:coordinator", h.run)
+	proc.SetDaemon(true)
+	return h
+}
+
+// Stats returns a snapshot of the heal counters.
+func (h *HealService) Stats() HealStats { return h.stats }
+
+// onStall runs in the stalling sender's timer context; it must decide
+// quickly and without blocking. It accepts the stall (suspending the
+// window) unless the peer is known-crashed — a crash is a real death the
+// application should see, only the path to a live peer is healable.
+func (h *HealService) onStall(n *Node, route []byte) bool {
+	peer, ok := n.LCP.nodeForRoute(route)
+	if !ok {
+		return false
+	}
+	if h.c.Nodes[peer].crashed {
+		return false
+	}
+	k := stallKey{node: n.ID, peer: peer}
+	if _, dup := h.stalled[k]; !dup {
+		h.stalled[k] = &stallRec{}
+	}
+	h.stats.Stalls++
+	h.m.stalls.Add(1)
+	h.c.Eng.TraceInstant("heal", "heal", fmt.Sprintf("stall node%d->node%d", n.ID, peer))
+	h.work.Signal()
+	return true
+}
+
+// run is the coordinator loop: sleep until a stall arrives, pace one remap
+// round per ProbeInterval while any remain, and park again when the table
+// is clear.
+func (h *HealService) run(p *simProc) {
+	for {
+		for len(h.stalled) == 0 {
+			h.work.Wait(p)
+		}
+		p.Sleep(h.cfg.ProbeInterval)
+		h.round(p)
+	}
+}
+
+// round performs one heal cycle: probe the fabric from a live node,
+// distribute whatever map comes back, then resume or give up on each
+// suspended window.
+func (h *HealService) round(p *simProc) {
+	maxDepth := h.cfg.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = len(h.c.Net.Switches()) + 1
+	}
+	timeout := h.cfg.ProbeTimeout
+	if timeout == 0 {
+		timeout = 20*sim.Microsecond + sim.Time(2*maxDepth)*h.c.Prof.SwitchLatency
+	}
+
+	// Probe from the first live nodes, in ID order for determinism. A
+	// prober behind the broken element sees only its own island; accept
+	// the first map that covers anyone besides the prober, and let later
+	// rounds (from the same deterministic candidate order) catch up as
+	// the fabric changes.
+	var tables map[int]myrinet.RouteTable
+	candidates := 0
+	for _, n := range h.c.Nodes {
+		if n.crashed {
+			continue
+		}
+		if candidates++; candidates > 3 {
+			break
+		}
+		h.c.Eng.TraceBegin("heal", "heal", fmt.Sprintf("remap from node%d", n.ID))
+		t := h.remap.Probe(p, n.Board.NIC, maxDepth, timeout)
+		h.c.Eng.TraceEnd("heal", "heal", fmt.Sprintf("remap from node%d", n.ID))
+		if len(t) >= 2 {
+			tables = t
+			break
+		}
+	}
+	if tables == nil {
+		h.expire()
+		return
+	}
+	h.stats.Remaps++
+	h.m.remaps.Add(1)
+	h.last = tables
+	h.distribute(p, tables)
+	h.resolve()
+}
+
+// distribute installs the fresh map on every live node: changed routes are
+// hot-swapped inside the reliable link (in-window unacked packets will
+// retransmit on the new path) and rewritten in the LCP's table. Entries
+// for vanished destinations are kept — their windows stay suspended and
+// either heal on a later round or expire.
+func (h *HealService) distribute(p *simProc, tables map[int]myrinet.RouteTable) {
+	for _, n := range h.c.Nodes {
+		if n.crashed {
+			continue
+		}
+		fresh := tables[n.ID]
+		if fresh == nil {
+			continue
+		}
+		p.Sleep(h.cfg.DistributeCost)
+		rl := n.Board.Reliable()
+		dsts := make([]int, 0, len(fresh))
+		for d := range fresh {
+			dsts = append(dsts, d)
+		}
+		sort.Ints(dsts)
+		for _, d := range dsts {
+			old, had := n.LCP.routes[d]
+			route := fresh[d]
+			if had && routesEqual(old, route) {
+				continue
+			}
+			if had {
+				rl.SwapRoute(old, route)
+			}
+			n.LCP.routes[d] = append([]byte(nil), route...)
+			h.stats.RouteSwaps++
+			h.m.swaps.Add(1)
+			h.c.Eng.TraceInstant("heal", "heal",
+				fmt.Sprintf("route_swap node%d->node%d", n.ID, d))
+		}
+	}
+}
+
+func routesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve walks the stall table (in sorted order — map iteration order
+// must not leak into the simulation) and resumes every pair the new map
+// reaches; pairs still dark age toward the MaxRounds budget.
+func (h *HealService) resolve() {
+	keys := make([]stallKey, 0, len(h.stalled))
+	for k := range h.stalled {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].peer < keys[j].peer
+	})
+	for _, k := range keys {
+		src := h.c.Nodes[k.node]
+		if src.crashed {
+			delete(h.stalled, k)
+			continue
+		}
+		if _, reachable := h.last[k.node][k.peer]; reachable {
+			src.Board.Reliable().Resume(src.LCP.routes[k.peer])
+			delete(h.stalled, k)
+			h.stats.Healed++
+			h.m.healed.Add(1)
+			h.c.Eng.TraceInstant("heal", "heal",
+				fmt.Sprintf("healed node%d->node%d", k.node, k.peer))
+			continue
+		}
+		rec := h.stalled[k]
+		rec.rounds++
+		if rec.rounds >= h.cfg.MaxRounds {
+			src.Board.Reliable().Abandon(src.LCP.routes[k.peer])
+			delete(h.stalled, k)
+			h.stats.Abandoned++
+			h.m.abandoned.Add(1)
+			h.c.Eng.TraceInstant("heal", "heal",
+				fmt.Sprintf("abandoned node%d->node%d", k.node, k.peer))
+		}
+	}
+}
+
+// expire ages every stall after a round that produced no usable map (the
+// prober itself is cut off), so a permanently dead fabric still drains
+// toward ErrNodeUnreachable instead of suspending forever.
+func (h *HealService) expire() {
+	keys := make([]stallKey, 0, len(h.stalled))
+	for k := range h.stalled {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].peer < keys[j].peer
+	})
+	for _, k := range keys {
+		src := h.c.Nodes[k.node]
+		if src.crashed {
+			delete(h.stalled, k)
+			continue
+		}
+		rec := h.stalled[k]
+		rec.rounds++
+		if rec.rounds >= h.cfg.MaxRounds {
+			src.Board.Reliable().Abandon(src.LCP.routes[k.peer])
+			delete(h.stalled, k)
+			h.stats.Abandoned++
+			h.m.abandoned.Add(1)
+			h.c.Eng.TraceInstant("heal", "heal",
+				fmt.Sprintf("abandoned node%d->node%d", k.node, k.peer))
+		}
+	}
+}
+
+// noteCrash forgets stalls originating at a node that just died — its
+// reliable link state was reset with it.
+func (h *HealService) noteCrash(node int) {
+	for k := range h.stalled {
+		if k.node == node {
+			delete(h.stalled, k)
+		}
+	}
+}
+
+// noteRestart runs after a crashed node reboots: stalls touching it are
+// dropped (RestartNode already reset peers' windows toward it), its routes
+// are re-synced from the latest remap so it rejoins on the healed
+// topology, and every live import of its pre-crash exports is marked
+// stale — the cached frame translations point into a reborn memory.
+func (h *HealService) noteRestart(node int) {
+	for k := range h.stalled {
+		if k.node == node || k.peer == node {
+			delete(h.stalled, k)
+		}
+	}
+	if t, ok := h.last[node]; ok {
+		n := h.c.Nodes[node]
+		for d, route := range t {
+			n.LCP.routes[d] = append([]byte(nil), route...)
+		}
+	}
+	for _, peer := range h.c.Nodes {
+		if peer.ID == node || peer.crashed {
+			continue
+		}
+		for _, proc := range peer.procs {
+			for base, rec := range proc.imports {
+				if rec.exporterNode == node {
+					rec.stale = true
+					proc.imports[base] = rec
+				}
+			}
+		}
+	}
+}
+
+// noteRevalidation is called by the daemon when RevalidateImport succeeds.
+func (h *HealService) noteRevalidation() {
+	h.stats.Revalidations++
+	h.m.revals.Add(1)
+}

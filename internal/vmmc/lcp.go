@@ -1,6 +1,7 @@
 package vmmc
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -283,6 +284,32 @@ func (l *LCP) unregisterProcess(pid int) {
 
 // doorbell is rung by the library after posting a send request.
 func (l *LCP) doorbell() { l.work.Signal() }
+
+// Routes returns a copy of the route currently installed toward dst, nil
+// when none is. Boot installs the mapper's tables; with healing on, the
+// self-healing layer may hot-swap entries afterwards. Observability
+// helpers (the healsweep picks its victim spine off the live route) read
+// it; the data path stays on the private table.
+func (l *LCP) Routes(dst int) []byte {
+	r, ok := l.routes[dst]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), r...)
+}
+
+// nodeForRoute resolves which destination node a route currently reaches,
+// by routing-table scan — the LCP knows routes, not topology. Distinct
+// destinations always have distinct routes (they differ at least in the
+// final switch port), so the first match is the only one.
+func (l *LCP) nodeForRoute(route []byte) (int, bool) {
+	for node, r := range l.routes {
+		if bytes.Equal(r, route) {
+			return node, true
+		}
+	}
+	return -1, false
+}
 
 // hasWork checks for runnable work without charging time (the cost of
 // discovering work is charged by the handlers and the queue scan).

@@ -40,6 +40,9 @@ type Node struct {
 	crashed bool
 	routes  myrinet.RouteTable
 
+	// heal is the cluster's self-healing service, nil when disabled.
+	heal *HealService
+
 	// MemActivity is broadcast whenever the interface deposits data into
 	// host memory. Pollers (e.g. the vRPC server) park on it instead of
 	// generating an endless stream of poll events while idle; the poll
@@ -106,8 +109,10 @@ func (n *Node) crash() {
 }
 
 // restart brings a crashed node back with a fresh LCP and daemon, reusing
-// the boot-time routes (the fabric did not change). Pre-crash processes,
-// exports and imports are gone; peers must re-import.
+// the routes it last held (boot-time ones, or healed ones when the
+// self-healing layer updated them; the heal service additionally refreshes
+// them from its latest remap). Pre-crash processes, exports and imports
+// are gone; peers must re-import — or revalidate, with healing on.
 func (n *Node) restart() error {
 	if !n.crashed {
 		return nil

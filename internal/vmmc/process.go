@@ -59,6 +59,11 @@ type importRec struct {
 	basePage     int
 	pages        int
 	length       int
+	// stale marks an import whose exporter restarted since the handshake:
+	// the frame list cached in the outgoing page table is no longer
+	// trustworthy. Set by the self-healing layer; cleared by
+	// RevalidateImport.
+	stale bool
 }
 
 type exportRec struct {
@@ -146,6 +151,39 @@ func (proc *Process) unimportBase(p *simProc, basePage int) error {
 	return proc.Node.Daemon.unimportLocal(p, proc, rec)
 }
 
+// importFor finds the import record covering a proxy destination page.
+func (proc *Process) importFor(dest ProxyAddr) (importRec, bool) {
+	pg := dest.Page()
+	for _, rec := range proc.imports {
+		if pg >= rec.basePage && pg < rec.basePage+rec.pages {
+			return rec, true
+		}
+	}
+	return importRec{}, false
+}
+
+// RevalidateImport re-runs the import handshake for an import the
+// self-healing layer marked stale (its exporter restarted): once the
+// exporter has re-exported the same tag, the fresh frame list replaces the
+// outgoing page-table entries in place, so the proxy address the
+// application holds stays valid. The re-export must span the same number
+// of pages as the original.
+func (proc *Process) RevalidateImport(p *simProc, base ProxyAddr) error {
+	if err := proc.alive(); err != nil {
+		proc.errs.ImportFailures++
+		return err
+	}
+	rec, ok := proc.imports[base.Page()]
+	if !ok {
+		return ErrNotImported
+	}
+	if err := proc.Node.Daemon.revalidateImport(p, proc, rec); err != nil {
+		proc.errs.ImportFailures++
+		return err
+	}
+	return nil
+}
+
 // RegisterHandler installs the notification handler for messages arriving
 // in the export tagged tag.
 func (proc *Process) RegisterHandler(tag uint32, h NotifyHandler) {
@@ -212,6 +250,14 @@ func (proc *Process) SendMsg(p *simProc, src mem.VirtAddr, dest ProxyAddr, n int
 	}
 	if !proc.AS.Mapped(src, n) {
 		return 0, ErrBadBuffer
+	}
+	if rec, ok := proc.importFor(dest); ok && rec.stale {
+		// The exporter restarted: the outgoing page table entries under
+		// dest translate to frames of a dead address space, and in the
+		// reborn one those frame numbers may belong to someone else's
+		// export. Refuse rather than scribble; RevalidateImport repairs.
+		proc.errs.SendFailures++
+		return 0, ErrImportStale
 	}
 
 	// Library bookkeeping before the board is touched.

@@ -66,6 +66,13 @@ var (
 	// ErrNodeDown reports an operation on a process whose node has
 	// crashed (or a stale process handle from before a restart).
 	ErrNodeDown = errors.New("vmmc: node is down")
+	// ErrImportStale reports a send through an import whose exporter
+	// restarted: the cached frame translations point into a reborn
+	// physical memory where those frames may back someone else's data.
+	// RevalidateImport refreshes the mapping once the exporter
+	// re-exports the tag. Only raised when the self-healing layer is on
+	// (Options.Heal); without it the library keeps the paper's behavior.
+	ErrImportStale = errors.New("vmmc: import stale after exporter restart")
 )
 
 // wire header: route bytes are consumed by the fabric; this header leads
