@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestResultsGolden pins RESULTS.txt: rendering the deterministic
+// experiment set through the registry must reproduce the checked-in file
+// byte for byte. Every quantity those experiments print is virtual-time
+// derived, so any diff is a real behavior change in the modeled system —
+// regenerate with `go run ./cmd/vmmcbench -deterministic > RESULTS.txt`
+// and review the delta like code.
+func TestResultsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full deterministic suite is seconds of simulation")
+	}
+	var buf bytes.Buffer
+	ran, err := runExperiments(&buf, "", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("registry rendered no deterministic experiments")
+	}
+	want, err := os.ReadFile("../../RESULTS.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	gotLines := strings.Split(buf.String(), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("output drifted from RESULTS.txt at line %d:\n  got:  %q\n  want: %q\n"+
+				"regenerate with `go run ./cmd/vmmcbench -deterministic > RESULTS.txt` and review the diff",
+				i+1, g, w)
+		}
+	}
+	t.Fatal("output drifted from RESULTS.txt (length mismatch)")
+}

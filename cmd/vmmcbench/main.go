@@ -1,25 +1,28 @@
 // Command vmmcbench regenerates the figures and tables of the paper's
-// evaluation (§5-§7) on the simulated platform.
+// evaluation (§5-§7) on the simulated platform, plus the repo's
+// extension sweeps.
 //
 // Usage:
 //
 //	vmmcbench                         # run everything
 //	vmmcbench -experiment fig3        # one experiment
+//	vmmcbench -deterministic          # the RESULTS.txt set (no scalesweep)
 //	vmmcbench -list                   # list experiment ids
 //	vmmcbench -experiment headline -trace t.json -metrics m.json
 //
-// Experiment ids: headline, fig1, fig2, fig3, fig4, tabhw, tabvrpc,
-// tabshrimp, tabrelated, extensions, ablations, faultsweep, scalesweep,
-// healsweep.
+// Experiments live in the registry in registry.go; `-list` prints the
+// ids. Deterministic experiments print only virtual-time-derived
+// quantities, so their output is byte-identical across runs and
+// machines; `-deterministic` runs exactly that set in registry order,
+// which is how RESULTS.txt is regenerated (a golden test pins the
+// checked-in file against the registry). scalesweep reports wall-clock
+// events/sec and is the one exclusion.
 //
-// scalesweep also reads -scale-nodes (comma-separated cluster sizes,
-// default 16,64,256) and -scale-out (path for the BENCH_scale.json
-// machine-readable artifact). healsweep reads -heal-outages
-// (comma-separated link-outage durations in microseconds, default
-// 2000,6000,12000) and -heal-out (path for the BENCH_heal.json
-// artifact, which is byte-identical across runs — every quantity in it
-// is virtual-time derived, and the sweep runs each cell twice and fails
-// on drift).
+// Sweeps read their own flags: scalesweep takes -scale-nodes and
+// -scale-out (BENCH_scale.json), healsweep takes -heal-outages and
+// -heal-out (BENCH_heal.json), collsweep takes -coll-nodes and
+// -coll-out (BENCH_coll.json). Every sweep artifact is byte-identical
+// across runs — each sweep re-runs a cell and fails on drift.
 //
 // With -trace, each run records structured events over virtual time and
 // writes a Chrome trace_event JSON file (open in chrome://tracing or
@@ -34,198 +37,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/bench"
-	"repro/internal/sim"
 )
-
-var (
-	scaleNodes  = flag.String("scale-nodes", "", "scalesweep cluster sizes, comma-separated (default 16,64,256)")
-	scaleOut    = flag.String("scale-out", "", "scalesweep: write the BENCH_scale.json artifact here")
-	healOutages = flag.String("heal-outages", "", "healsweep link-outage durations in microseconds, comma-separated (default 2000,6000,12000)")
-	healOut     = flag.String("heal-out", "", "healsweep: write the BENCH_heal.json artifact here")
-)
-
-func parseHealOutages(s string) ([]sim.Time, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var outs []sim.Time
-	for _, part := range strings.Split(s, ",") {
-		us, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || us <= 0 {
-			return nil, fmt.Errorf("bad -heal-outages entry %q", part)
-		}
-		outs = append(outs, sim.Time(us)*sim.Microsecond)
-	}
-	return outs, nil
-}
-
-func parseScaleNodes(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var nodes []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 2 {
-			return nil, fmt.Errorf("bad -scale-nodes entry %q", part)
-		}
-		nodes = append(nodes, n)
-	}
-	return nodes, nil
-}
-
-type experiment struct {
-	id, what string
-	run      func() error
-}
-
-func printSeries(ss ...bench.Series) {
-	for _, s := range ss {
-		fmt.Println(s.Format())
-	}
-}
-
-func printTable(t bench.Table) { fmt.Println(t.Format()) }
-
-var experiments = []experiment{
-	{"headline", "abstract: 9.8 us latency, 80.4 MB/s bandwidth", func() error {
-		t, err := bench.Headline()
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-	{"fig1", "Figure 1: host<->LANai DMA bandwidth vs block size", func() error {
-		ss, err := bench.Fig1HostDMA()
-		if err != nil {
-			return err
-		}
-		printSeries(ss...)
-		return nil
-	}},
-	{"fig2", "Figure 2: one-way latency for short messages", func() error {
-		s, err := bench.Fig2Latency()
-		if err != nil {
-			return err
-		}
-		printSeries(s)
-		return nil
-	}},
-	{"fig3", "Figure 3: bandwidth vs message size (one-way, bidirectional)", func() error {
-		ss, err := bench.Fig3Bandwidth()
-		if err != nil {
-			return err
-		}
-		printSeries(ss...)
-		return nil
-	}},
-	{"fig4", "Figure 4: synchronous/asynchronous send overhead", func() error {
-		ss, err := bench.Fig4SendOverhead()
-		if err != nil {
-			return err
-		}
-		printSeries(ss...)
-		return nil
-	}},
-	{"tabhw", "Section 5.2: hardware cost microprobes", func() error {
-		t, err := bench.TableHardwareCosts()
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-	{"tabvrpc", "Section 5.4: vRPC on Myrinet, SHRIMP, and kernel UDP", func() error {
-		t, err := bench.TableVRPC()
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-	{"tabshrimp", "Section 6: SHRIMP vs Myrinet design tradeoffs", func() error {
-		t, err := bench.TableShrimpComparison()
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-	{"tabrelated", "Section 7: Myrinet API, FM, PM, AM comparison", func() error {
-		t, err := bench.TableRelatedWork()
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-	{"extensions", "follow-on features: redirection, reliability, zero-copy RPC", func() error {
-		t, err := bench.ExtensionsTable()
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-	{"ablations", "design-choice ablations (pipelining, tight loop, threshold, TLB, senders)", func() error {
-		for _, f := range []func() (bench.Table, error){
-			bench.AblationPipeline,
-			bench.AblationTightLoop,
-			bench.AblationThreshold,
-			bench.AblationTLB,
-			bench.AblationSenders,
-			bench.AblationReliability,
-		} {
-			t, err := f()
-			if err != nil {
-				return err
-			}
-			printTable(t)
-		}
-		return nil
-	}},
-	{"faultsweep", "robustness: goodput vs injected wire error rate, reliability off/on", func() error {
-		t, err := bench.FaultSweep()
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-	{"scalesweep", "scaling: all-to-all goodput and simulator events/sec, 16-256 nodes", func() error {
-		nodes, err := parseScaleNodes(*scaleNodes)
-		if err != nil {
-			return err
-		}
-		t, err := bench.ScaleSweep(bench.ScaleConfig{Nodes: nodes, Out: *scaleOut})
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-	{"healsweep", "self-healing: goodput vs link/switch outage on a redundant fabric", func() error {
-		outages, err := parseHealOutages(*healOutages)
-		if err != nil {
-			return err
-		}
-		t, err := bench.HealSweep(bench.HealConfigSweep{Outages: outages, Out: *healOut})
-		if err != nil {
-			return err
-		}
-		printTable(t)
-		return nil
-	}},
-}
 
 func main() {
 	var (
 		id       = flag.String("experiment", "", "experiment id to run (default: all)")
+		detOnly  = flag.Bool("deterministic", false, "run only experiments with byte-identical output (the RESULTS.txt set)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON artifact here")
 		metrPth  = flag.String("metrics", "", "write a metrics snapshot JSON artifact here")
@@ -235,8 +54,13 @@ func main() {
 
 	if *list {
 		for _, e := range experiments {
-			fmt.Printf("%-12s %s\n", e.id, e.what)
+			mark := " "
+			if e.deterministic {
+				mark = "*"
+			}
+			fmt.Printf("%s %-12s %s\n", mark, e.id, e.what)
 		}
+		fmt.Println("\n* = deterministic output, pinned in RESULTS.txt")
 		return
 	}
 	observing := *tracePth != "" || *metrPth != ""
@@ -245,22 +69,10 @@ func main() {
 		MetricsPath:   *metrPth,
 		TraceCapacity: *traceCap,
 	})
-	ran := false
-	for _, e := range experiments {
-		if *id != "" && e.id != *id {
-			continue
-		}
-		fmt.Printf("### %s — %s\n\n", e.id, e.what)
-		if err := e.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "vmmcbench: %s: %v\n", e.id, err)
-			os.Exit(1)
-		}
-		if observing {
-			if s := bench.LastMetricsSummary(); s != "" {
-				fmt.Printf("%s\n\n", s)
-			}
-		}
-		ran = true
+	ran, err := runExperiments(os.Stdout, *id, *detOnly, observing)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmmcbench: %v\n", err)
+		os.Exit(1)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "vmmcbench: unknown experiment %q (try -list)\n", *id)

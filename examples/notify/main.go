@@ -68,10 +68,12 @@ func main() {
 		// message has been delivered; it reads the request from its own
 		// memory and sends the uppercased version back.
 		srvSrc, _ := server.Malloc(slotSize)
-		server.RegisterHandler(reqTag, func(hp *vmmcnet.Proc, tag uint32, offset, length int) {
+		server.RegisterHandler(reqTag, func(hp *vmmcnet.Proc, from vmmcnet.ProcID, tag uint32, offset, length int) {
+			// The notification identifies the sender; the slot layout
+			// (client i writes slot i) lets us cross-check it.
 			slot := offset / slotSize
 			data, _ := server.Read(reqBuf+vmmcnet.VirtAddr(offset), length)
-			fmt.Printf("[%8v] server handler: slot %d got %q\n", hp.Now(), slot, data)
+			fmt.Printf("[%8v] server handler: slot %d (node %d) got %q\n", hp.Now(), slot, from.Node, data)
 			up := make([]byte, len(data))
 			for i, b := range data {
 				if 'a' <= b && b <= 'z' {

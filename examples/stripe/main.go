@@ -77,7 +77,7 @@ func main() {
 
 			// Request handler: [blockNo uint32] -> push the block into
 			// the client's buffer at its global offset.
-			proc.RegisterHandler(tagRequest, func(hp *vmmcnet.Proc, tag uint32, offset, length int) {
+			proc.RegisterHandler(tagRequest, func(hp *vmmcnet.Proc, from vmmcnet.ProcID, tag uint32, offset, length int) {
 				req, _ := proc.Read(sv.reqBuf+vmmcnet.VirtAddr(offset), 4)
 				blockNo := int(binary.BigEndian.Uint32(req))
 				src := store + vmmcnet.VirtAddr(blockNo*blockBytes)

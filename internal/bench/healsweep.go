@@ -49,14 +49,14 @@ type HealResult struct {
 	SendFailures   int64
 }
 
-// healDiamond wires the redundant sweep fabric: two edge switches, each
+// DiamondFabric wires the redundant sweep fabric: two edge switches, each
 // hosting half the nodes, cross-connected through two spine switches, so
 // every edge-to-edge path has a one-trunk detour and a spine death is
 // survivable.
 //
 //	edge0 (sw0) --6-- spineA (sw2) --6-- edge1 (sw1)
 //	      \--7-- spineB (sw3) --7--/
-func healDiamond(net *myrinet.Network, nodes int) error {
+func DiamondFabric(net *myrinet.Network, nodes int) error {
 	edge0 := net.AddSwitch(8)  // switch 0
 	edge1 := net.AddSwitch(8)  // switch 1
 	spineA := net.AddSwitch(8) // switch 2
@@ -175,7 +175,7 @@ func runHealCase(name string, outage sim.Time, spine bool, msgs int) (HealResult
 		Reliable:    true,
 		Reliability: &relCfg,
 		Faults:      pl,
-		BuildFabric: healDiamond,
+		BuildFabric: DiamondFabric,
 		Heal: &vmmc.HealConfig{
 			ProbeInterval: 500 * sim.Microsecond,
 			MaxRounds:     64,

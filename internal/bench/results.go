@@ -34,6 +34,8 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+	// Notes are free-form lines rendered after the rows.
+	Notes []string
 }
 
 // Format renders the table with aligned columns.
@@ -66,6 +68,9 @@ func (t Table) Format() string {
 			}
 		}
 		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
 }

@@ -1,0 +1,288 @@
+package coll_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/vmmc"
+)
+
+// runRanks boots a cluster, forms a communicator with one rank per node,
+// and runs body concurrently in every rank's own simulation process.
+func runRanks(t *testing.T, nodes int, clOpts vmmc.Options, opts coll.Options,
+	body func(p *sim.Proc, c *coll.Comm)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	if clOpts.Nodes == 0 {
+		clOpts.Nodes = nodes
+	}
+	cluster, err := vmmc.NewCluster(eng, clOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Go("coll-test", func(p *sim.Proc) {
+		procs := make([]*vmmc.Process, nodes)
+		for i := range procs {
+			var err error
+			if procs[i], err = cluster.Nodes[i].NewProcess(p); err != nil {
+				t.Fatalf("rank %d process: %v", i, err)
+			}
+		}
+		comms, err := coll.Build(p, procs, opts)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		done := 0
+		cond := sim.NewCond(eng)
+		for r := range comms {
+			r := r
+			eng.Go(fmt.Sprintf("rank%d", r), func(rp *sim.Proc) {
+				body(rp, comms[r])
+				done++
+				cond.Broadcast()
+			})
+		}
+		for done < nodes {
+			cond.Wait(p)
+		}
+	})
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 5
+	var exitTimes [n]sim.Time
+	var latest sim.Time
+	runRanks(t, n, vmmc.Options{}, coll.Options{}, func(p *sim.Proc, c *coll.Comm) {
+		// Stagger entries; no rank may leave before the last one enters.
+		stagger := sim.Time(c.Rank()) * sim.Millisecond
+		p.Sleep(stagger)
+		entered := p.Now()
+		if entered > latest {
+			latest = entered
+		}
+		if err := c.Barrier(p); err != nil {
+			t.Errorf("rank %d barrier: %v", c.Rank(), err)
+		}
+		exitTimes[c.Rank()] = p.Now()
+	})
+	for r, exit := range exitTimes {
+		if exit < latest {
+			t.Errorf("rank %d left the barrier at %v, before the last entry at %v", r, exit, latest)
+		}
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	const n = 4
+	runRanks(t, n, vmmc.Options{}, coll.Options{}, func(p *sim.Proc, c *coll.Comm) {
+		for i := 0; i < 5; i++ {
+			// Skew each round differently so token counts, not luck,
+			// keep invocations apart.
+			p.Sleep(sim.Time((c.Rank()*7+i)%3) * 100 * sim.Microsecond)
+			if err := c.Barrier(p); err != nil {
+				t.Errorf("rank %d barrier %d: %v", c.Rank(), i, err)
+			}
+		}
+	})
+}
+
+// pattern fills a deterministic pseudo-random payload (no host RNG: the
+// simulation must stay reproducible).
+func pattern(seed uint32, n int) []byte {
+	b := make([]byte, n)
+	x := seed*2654435761 + 1
+	for i := range b {
+		x = x*1664525 + 1013904223
+		b[i] = byte(x >> 24)
+	}
+	return b
+}
+
+func TestBroadcastBothAlgorithms(t *testing.T) {
+	const n = 5
+	const size = 40 << 10 // several slots: exercises chunking and credits
+	for _, algo := range []coll.Algorithm{coll.Tree, coll.Ring} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			want := pattern(7, size)
+			runRanks(t, n, vmmc.Options{}, coll.Options{}, func(p *sim.Proc, c *coll.Comm) {
+				const root = 3
+				buf := make([]byte, size)
+				if c.Rank() == root {
+					copy(buf, want)
+				}
+				if err := c.Broadcast(p, buf, root, algo); err != nil {
+					t.Errorf("rank %d: %v", c.Rank(), err)
+					return
+				}
+				if !bytes.Equal(buf, want) {
+					t.Errorf("rank %d received wrong payload (%s)", c.Rank(), algo)
+				}
+			})
+		})
+	}
+}
+
+func TestReduceAllOpsAndTypes(t *testing.T) {
+	const n = 4
+	const elems = 64
+	const root = 2
+	cases := []struct {
+		op coll.Op
+		dt coll.DType
+	}{
+		{coll.OpSum, coll.Int32}, {coll.OpMin, coll.Int32}, {coll.OpMax, coll.Int32},
+		{coll.OpSum, coll.Float64}, {coll.OpMin, coll.Float64}, {coll.OpMax, coll.Float64},
+	}
+	for _, tc := range cases {
+		for _, algo := range []coll.Algorithm{coll.Tree, coll.Ring} {
+			tc, algo := tc, algo
+			t.Run(fmt.Sprintf("%v_%v_%v", tc.op, tc.dt, algo), func(t *testing.T) {
+				runRanks(t, n, vmmc.Options{}, coll.Options{}, func(p *sim.Proc, c *coll.Comm) {
+					in, want := reduceVectors(t, tc.op, tc.dt, n, elems, c.Rank())
+					out := make([]byte, len(in))
+					if err := c.Reduce(p, in, out, tc.op, tc.dt, root, algo); err != nil {
+						t.Errorf("rank %d: %v", c.Rank(), err)
+						return
+					}
+					if c.Rank() == root && !bytes.Equal(out, want) {
+						t.Errorf("root result differs (%v %v %v)", tc.op, tc.dt, algo)
+					}
+				})
+			})
+		}
+	}
+}
+
+// reduceVectors builds rank's deterministic input vector and the expected
+// full reduction over n ranks.
+func reduceVectors(t *testing.T, op coll.Op, dt coll.DType, n, elems, rank int) (in, want []byte) {
+	t.Helper()
+	val := func(r, i int) int32 { return int32((r*31+i*7)%101 - 50) }
+	fold := func(a, b float64) float64 {
+		switch op {
+		case coll.OpSum:
+			return a + b
+		case coll.OpMin:
+			if b < a {
+				return b
+			}
+			return a
+		default:
+			if b > a {
+				return b
+			}
+			return a
+		}
+	}
+	switch dt {
+	case coll.Int32:
+		mine := make([]int32, elems)
+		exp := make([]int32, elems)
+		for i := range mine {
+			mine[i] = val(rank, i)
+			acc := val(0, i)
+			for r := 1; r < n; r++ {
+				acc = int32(fold(float64(acc), float64(val(r, i))))
+			}
+			exp[i] = acc
+		}
+		return coll.EncodeInt32s(mine), coll.EncodeInt32s(exp)
+	default:
+		mine := make([]float64, elems)
+		exp := make([]float64, elems)
+		for i := range mine {
+			mine[i] = float64(val(rank, i))
+			acc := float64(val(0, i))
+			for r := 1; r < n; r++ {
+				acc = fold(acc, float64(val(r, i)))
+			}
+			exp[i] = acc
+		}
+		return coll.EncodeFloat64s(mine), coll.EncodeFloat64s(exp)
+	}
+}
+
+func TestAllReduceSequenceExercisesCredits(t *testing.T) {
+	// Several large back-to-back all-reduces: payload blocks span many
+	// slots, so the credit protocol must recycle slots correctly across
+	// calls and algorithms.
+	const n = 4
+	const elems = 24 << 10 // 96 KB of int32
+	runRanks(t, n, vmmc.Options{}, coll.Options{}, func(p *sim.Proc, c *coll.Comm) {
+		for round, algo := range []coll.Algorithm{coll.Ring, coll.Tree, coll.Ring} {
+			mine := make([]int32, elems)
+			exp := make([]int32, elems)
+			for i := range mine {
+				mine[i] = int32((c.Rank()+1)*(i%50) + round)
+				sum := int32(0)
+				for r := 0; r < n; r++ {
+					sum += int32((r+1)*(i%50) + round)
+				}
+				exp[i] = sum
+			}
+			in := coll.EncodeInt32s(mine)
+			out := make([]byte, len(in))
+			if err := c.AllReduce(p, in, out, coll.OpSum, coll.Int32, algo); err != nil {
+				t.Errorf("rank %d round %d: %v", c.Rank(), round, err)
+				return
+			}
+			if !bytes.Equal(out, coll.EncodeInt32s(exp)) {
+				t.Errorf("rank %d round %d (%v): wrong result", c.Rank(), round, algo)
+			}
+		}
+	})
+}
+
+func TestAllGatherBothAlgorithms(t *testing.T) {
+	const n = 6
+	const blk = 3 << 10
+	for _, algo := range []coll.Algorithm{coll.Tree, coll.Ring} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			want := make([]byte, 0, n*blk)
+			for r := 0; r < n; r++ {
+				want = append(want, pattern(uint32(r+100), blk)...)
+			}
+			runRanks(t, n, vmmc.Options{}, coll.Options{}, func(p *sim.Proc, c *coll.Comm) {
+				in := pattern(uint32(c.Rank()+100), blk)
+				out := make([]byte, n*blk)
+				if err := c.AllGather(p, in, out, algo); err != nil {
+					t.Errorf("rank %d: %v", c.Rank(), err)
+					return
+				}
+				if !bytes.Equal(out, want) {
+					t.Errorf("rank %d assembled wrong vector (%v)", c.Rank(), algo)
+				}
+			})
+		})
+	}
+}
+
+func TestAutoCrossesOverBySize(t *testing.T) {
+	m := coll.ModelFromProfile(hw.Default())
+	const n, chunk = 8, 16 << 10
+	if got := m.Choose(coll.KAllReduce, n, 64, chunk); got != coll.Tree {
+		t.Errorf("64-byte all-reduce chose %v, want tree (latency-bound)", got)
+	}
+	if got := m.Choose(coll.KAllReduce, n, 512<<10, chunk); got != coll.Ring {
+		t.Errorf("512 KB all-reduce chose %v, want ring (bandwidth-bound)", got)
+	}
+	if got := m.Choose(coll.KAllGather, n, 256<<10, chunk); got != coll.Ring {
+		t.Errorf("large all-gather chose %v, want ring", got)
+	}
+}
+
+func TestNoPayloadTrafficWhenUnused(t *testing.T) {
+	// Forming a communicator and never calling a collective must not
+	// move payload traffic — the handshake mesh is setup only.
+	const n = 3
+	runRanks(t, n, vmmc.Options{}, coll.Options{}, func(p *sim.Proc, c *coll.Comm) {})
+}

@@ -1,0 +1,177 @@
+// Algorithm selection. Each collective that has both a latency-bound and
+// a bandwidth-bound implementation picks between them with a calibrated
+// cost model derived from the platform profile: binomial trees cost
+// O(log n) message latencies, rings cost O(n) latencies but stream the
+// payload at full bandwidth in n-th size blocks. The crossover falls out
+// of the same constants the simulator charges, so Auto tracks the
+// measured optimum.
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+type simProc = sim.Proc
+
+// Algorithm selects a collective implementation.
+type Algorithm int
+
+const (
+	// Auto picks tree or ring from the cost model per call.
+	Auto Algorithm = iota
+	// Tree is the binomial-tree family: O(log n) rounds, whole payload
+	// per round. Wins when per-message latency dominates.
+	Tree
+	// Ring is the ring/chain family: O(n) rounds, 1/n-th payload per
+	// round (pipelined chunks for broadcast). Wins when bandwidth
+	// dominates.
+	Ring
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Tree:
+		return "tree"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Kind names a collective operation for cost estimation.
+type Kind int
+
+const (
+	KBroadcast Kind = iota
+	KReduce
+	KAllReduce
+	KAllGather
+)
+
+// CostModel are the three constants the estimates are built from.
+type CostModel struct {
+	// Alpha is the fixed cost of one point-to-point notifying message:
+	// library post, LCP pickup and injection, wire and switch latency,
+	// receive handling, interrupt entry and signal delivery.
+	Alpha sim.Time
+	// BytesPerSec is the streaming payload rate, bounded by the
+	// host-to-LANai DMA engine (the paper's 82 MB/s limit, §5.2).
+	BytesPerSec float64
+	// CombineBytesPerSec is the reduction combine rate, bounded by host
+	// memory bandwidth (the ~50 MB/s bcopy rate, §5.4).
+	CombineBytesPerSec float64
+}
+
+// ModelFromProfile composes the model constants from the platform
+// profile the simulator itself charges.
+func ModelFromProfile(prof hw.Profile) CostModel {
+	alpha := prof.LibSendCost + 8*prof.PCIWriteCost + // post the request
+		prof.LCPDispatch + prof.LCPScanPerQueue + prof.LCPShortSend + prof.LCPHeaderPrep + // LCP send side
+		prof.NetSend.Setup + 2*prof.SwitchLatency + prof.NetRecv.Setup + // fabric
+		prof.LCPRecvPacket + prof.LANaiToHost.Setup + // LCP receive side
+		prof.InterruptCost + prof.SignalCost // notification delivery
+	return CostModel{
+		Alpha:              alpha,
+		BytesPerSec:        prof.HostToLANai.Rate,
+		CombineBytesPerSec: prof.BcopyRate,
+	}
+}
+
+// xfer estimates one credited payload message of n bytes.
+func (m CostModel) xfer(n int) sim.Time {
+	return m.Alpha + sim.Time(float64(n)/m.BytesPerSec*float64(sim.Second))
+}
+
+// comb estimates combining an n-byte vector into an accumulator.
+func (m CostModel) comb(n int) sim.Time {
+	return sim.Time(float64(n) / m.CombineBytesPerSec * float64(sim.Second))
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// chunksOf is how many slot-sized messages an n-byte payload takes.
+func chunksOf(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + chunk - 1) / chunk
+}
+
+// Estimate predicts the completion time of one collective of the given
+// kind over n ranks and `bytes` payload bytes (per-rank contribution for
+// all-gather), with payloads chunked into `chunk`-byte messages.
+func (m CostModel) Estimate(kind Kind, algo Algorithm, n, bytes, chunk int) sim.Time {
+	if n <= 1 {
+		return 0
+	}
+	rounds := log2ceil(n)
+	msgs := chunksOf(bytes, chunk)
+	block := bytes / n // ring block size (reduce-scatter granularity)
+	switch kind {
+	case KBroadcast:
+		if algo == Tree {
+			// Each tree level forwards the whole payload.
+			return sim.Time(rounds) * (sim.Time(msgs-1)*m.Alpha + m.xfer(bytes))
+		}
+		// Pipelined chain: fill latency of n-1 hops, then stream the
+		// remaining chunks through.
+		c := chunk
+		if bytes < c {
+			c = bytes
+		}
+		return sim.Time(n-2+msgs) * m.xfer(c)
+	case KReduce:
+		if algo == Tree {
+			return sim.Time(rounds) * (sim.Time(msgs-1)*m.Alpha + m.xfer(bytes) + m.comb(bytes))
+		}
+		// Reduce-scatter then direct block gather to the root.
+		return sim.Time(n-1)*(m.xfer(block)+m.comb(block)) + sim.Time(n-1)*m.xfer(block)
+	case KAllReduce:
+		if algo == Tree {
+			return m.Estimate(KReduce, Tree, n, bytes, chunk) +
+				m.Estimate(KBroadcast, Tree, n, bytes, chunk)
+		}
+		// Reduce-scatter then ring all-gather.
+		return sim.Time(n-1)*(m.xfer(block)+m.comb(block)) + sim.Time(n-1)*m.xfer(block)
+	case KAllGather:
+		if algo == Tree {
+			// Binomial gather (critical path moves (n-1)·bytes toward
+			// the root over log n rounds) then tree broadcast of the
+			// full n·bytes vector.
+			gather := sim.Time(rounds)*m.Alpha +
+				sim.Time(float64((n-1)*bytes)/m.BytesPerSec*float64(sim.Second))
+			return gather + m.Estimate(KBroadcast, Tree, n, n*bytes, chunk)
+		}
+		return sim.Time(n-1) * m.xfer(bytes)
+	default:
+		return 0
+	}
+}
+
+// Choose resolves Auto to the cheaper of Tree and Ring for this call.
+func (m CostModel) Choose(kind Kind, n, bytes, chunk int) Algorithm {
+	if m.Estimate(kind, Tree, n, bytes, chunk) <= m.Estimate(kind, Ring, n, bytes, chunk) {
+		return Tree
+	}
+	return Ring
+}
+
+// resolve maps a caller's algorithm request to a concrete algorithm.
+func (c *Comm) resolve(kind Kind, algo Algorithm, bytes int) Algorithm {
+	if algo != Auto {
+		return algo
+	}
+	return c.g.model.Choose(kind, c.g.n, bytes, c.g.opts.SlotBytes)
+}

@@ -1,0 +1,234 @@
+// Reduction operators. Vectors on the wire are XDR-encoded (big-endian,
+// RFC 4506) via the repo's xdr package, so reduction payloads are
+// byte-identical regardless of which algorithm or route produced them —
+// the property the cross-algorithm tests pin down.
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// Op names a reduction operator.
+type Op int
+
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// DType names an element type for reduction vectors.
+type DType int
+
+const (
+	Int32 DType = iota
+	Float64
+)
+
+func (d DType) String() string {
+	switch d {
+	case Int32:
+		return "int32"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Size returns the encoded size of one element in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Int32:
+		return 4
+	case Float64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// CombineFunc folds the XDR-encoded vector src element-wise into dst
+// (dst = dst ⊕ src). Both slices have equal length, a multiple of the
+// element size.
+type CombineFunc func(dst, src []byte) error
+
+type opKey struct {
+	op Op
+	dt DType
+}
+
+// opTable maps (operator, dtype) to its combine function. RegisterOp
+// extends it; the built-ins cover sum/min/max over int32 and float64.
+var opTable = map[opKey]CombineFunc{}
+
+// RegisterOp installs (or replaces) the combine function for (op, dt),
+// making the operator table pluggable for callers with custom types.
+func RegisterOp(op Op, dt DType, fn CombineFunc) {
+	opTable[opKey{op, dt}] = fn
+}
+
+func init() {
+	RegisterOp(OpSum, Int32, combineInt32(func(a, b int32) int32 { return a + b }))
+	RegisterOp(OpMin, Int32, combineInt32(func(a, b int32) int32 {
+		if b < a {
+			return b
+		}
+		return a
+	}))
+	RegisterOp(OpMax, Int32, combineInt32(func(a, b int32) int32 {
+		if b > a {
+			return b
+		}
+		return a
+	}))
+	RegisterOp(OpSum, Float64, combineFloat64(func(a, b float64) float64 { return a + b }))
+	RegisterOp(OpMin, Float64, combineFloat64(func(a, b float64) float64 {
+		if b < a {
+			return b
+		}
+		return a
+	}))
+	RegisterOp(OpMax, Float64, combineFloat64(func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	}))
+}
+
+func lookupOp(op Op, dt DType) (CombineFunc, error) {
+	fn, ok := opTable[opKey{op, dt}]
+	if !ok {
+		return nil, fmt.Errorf("coll: no combine function for %v over %v", op, dt)
+	}
+	return fn, nil
+}
+
+func combineInt32(f func(a, b int32) int32) CombineFunc {
+	return func(dst, src []byte) error {
+		a, err := DecodeInt32s(dst)
+		if err != nil {
+			return err
+		}
+		b, err := DecodeInt32s(src)
+		if err != nil {
+			return err
+		}
+		if len(a) != len(b) {
+			return fmt.Errorf("coll: combine length mismatch: %d vs %d elements", len(a), len(b))
+		}
+		for i := range a {
+			a[i] = f(a[i], b[i])
+		}
+		copy(dst, EncodeInt32s(a))
+		return nil
+	}
+}
+
+func combineFloat64(f func(a, b float64) float64) CombineFunc {
+	return func(dst, src []byte) error {
+		a, err := DecodeFloat64s(dst)
+		if err != nil {
+			return err
+		}
+		b, err := DecodeFloat64s(src)
+		if err != nil {
+			return err
+		}
+		if len(a) != len(b) {
+			return fmt.Errorf("coll: combine length mismatch: %d vs %d elements", len(a), len(b))
+		}
+		for i := range a {
+			a[i] = f(a[i], b[i])
+		}
+		copy(dst, EncodeFloat64s(a))
+		return nil
+	}
+}
+
+// EncodeInt32s XDR-encodes a vector of int32 (no length prefix: the
+// communicator geometry fixes the count).
+func EncodeInt32s(v []int32) []byte {
+	e := xdr.NewEncoder()
+	for _, x := range v {
+		e.PutInt32(x)
+	}
+	return e.Bytes()
+}
+
+// DecodeInt32s decodes a vector encoded by EncodeInt32s.
+func DecodeInt32s(b []byte) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("coll: int32 vector length %d not a multiple of 4", len(b))
+	}
+	d := xdr.NewDecoder(b)
+	v := make([]int32, len(b)/4)
+	for i := range v {
+		x, err := d.Int32()
+		if err != nil {
+			return nil, err
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// EncodeFloat64s XDR-encodes a vector of float64.
+func EncodeFloat64s(v []float64) []byte {
+	e := xdr.NewEncoder()
+	for _, x := range v {
+		e.PutFloat64(x)
+	}
+	return e.Bytes()
+}
+
+// DecodeFloat64s decodes a vector encoded by EncodeFloat64s.
+func DecodeFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("coll: float64 vector length %d not a multiple of 8", len(b))
+	}
+	d := xdr.NewDecoder(b)
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		x, err := d.Float64()
+		if err != nil {
+			return nil, err
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// combine folds src into dst with the (op, dt) operator, charging the
+// element-wise pass at library copy rate (the host reads both vectors and
+// writes one; on this platform that is memcpy-bound, §5.4).
+func (c *Comm) combine(p *simProc, op Op, dt DType, dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("coll: combine length mismatch: %d vs %d bytes", len(dst), len(src))
+	}
+	fn, err := lookupOp(op, dt)
+	if err != nil {
+		return err
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	c.proc.Node.CPU.Bcopy(p, len(dst))
+	return fn(dst, src)
+}

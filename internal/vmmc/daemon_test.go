@@ -155,7 +155,7 @@ func TestSignalCostChargedForNotification(t *testing.T) {
 			t.Fatal(err)
 		}
 		var firedAt sim.Time
-		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) {
+		recv.RegisterHandler(9, func(hp *simProc, from ProcID, tag uint32, offset, length int) {
 			firedAt = hp.Now()
 		})
 		dest, _, _ := send.Import(p, 1, 9)

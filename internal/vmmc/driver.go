@@ -43,12 +43,13 @@ type tlbMissIRQ struct {
 }
 
 // notifyIRQ delivers a notification: the message targeting (pid, tag)
-// finished arriving at the given buffer offset.
+// finished arriving at the given buffer offset, sent by from.
 type notifyIRQ struct {
 	pid    int
 	tag    uint32
 	offset int
 	length int
+	from   ProcID
 }
 
 // handleInterrupt runs in event context when the board asserts its
@@ -137,7 +138,7 @@ func (d *Driver) deliverNotification(p *simProc, irq notifyIRQ) {
 	d.notifications++
 	d.mNotify.Add(1)
 	n.Eng.TraceInstant(fmt.Sprintf("node%d/driver", n.ID), "irq", "notification_signal")
-	h(p, irq.tag, irq.offset, irq.length)
+	h(p, irq.from, irq.tag, irq.offset, irq.length)
 }
 
 // translateAndLock is the driver service used by the daemon at export

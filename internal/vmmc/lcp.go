@@ -43,6 +43,14 @@ type LCP struct {
 	redirects map[uint32]*redirectRec
 	arrivedHW map[uint32]int
 
+	// notifyAcc accumulates the chunks of an in-flight notifying message
+	// per sender and export, so the notification reports the whole
+	// message's base offset and length rather than the last chunk's.
+	// Chunks of one message arrive contiguously per channel (the sender
+	// LCP serializes its send queue and links deliver in order), so one
+	// accumulator per (sender, tag) suffices.
+	notifyAcc map[notifyKey]*notifyAccum
+
 	// SRAM regions.
 	codeOff    int
 	stagingOff [2]int // double buffer for long-send chunks
@@ -169,6 +177,7 @@ func newLCP(n *Node, routes myrinet.RouteTable) (*LCP, error) {
 		work:      sim.NewCond(n.Eng),
 		redirects: make(map[uint32]*redirectRec),
 		arrivedHW: make(map[uint32]int),
+		notifyAcc: make(map[notifyKey]*notifyAccum),
 		comp:      fmt.Sprintf("node%d/lcp", n.ID),
 		m:         newLCPMetrics(n.Eng.Metrics(), n.ID),
 	}
@@ -232,6 +241,7 @@ func (l *LCP) teardown() {
 	l.rxq = nil
 	l.redirects = make(map[uint32]*redirectRec)
 	l.arrivedHW = make(map[uint32]int)
+	l.notifyAcc = make(map[notifyKey]*notifyAccum)
 }
 
 // Stats returns a copy of the LCP's counters.

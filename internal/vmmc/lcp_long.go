@@ -132,10 +132,15 @@ func (l *LCP) stepJob(p *simProc) {
 			SrcPid:  uint16(j.st.pid),
 			Seq:     j.e.seq,
 		}
+		// Every chunk of a notifying message carries flagNotify so the
+		// receiver can accumulate the message-level extent; the interrupt
+		// itself is raised only on the flagLastChunk chunk.
+		if j.e.notify {
+			hdr.Flags |= flagNotify
+		}
 		if c.last {
 			hdr.Flags |= flagLastChunk
 			if j.e.notify {
-				hdr.Flags |= flagNotify
 				l.stats.NotificationsRequested++
 				l.m.notifyRequested.Add(1)
 			}

@@ -116,18 +116,54 @@ func (l *LCP) handleRecv(p *simProc, item rxItem) {
 	l.m.bytesIn.Add(int64(hdr.DataLen))
 	l.node.MemActivity.Broadcast()
 
-	if hdr.Flags&flagNotify != 0 && hdr.Flags&flagLastChunk != 0 {
+	if hdr.Flags&flagNotify != 0 {
 		entry, ok := l.incoming.lookup(hdr.Addr1)
 		if ok && entry.notifyOK {
-			offset := int(entry.frameVA) + hdr.Addr1.Offset() - int(entry.baseVA)
-			board.RaiseInterrupt(notifyIRQ{
-				pid:    entry.owner,
-				tag:    entry.tag,
-				offset: offset,
-				length: int(hdr.DataLen),
-			})
+			chunkOff := int(entry.frameVA) + hdr.Addr1.Offset() - int(entry.baseVA)
+			// Accumulate the message across its chunks so the
+			// notification carries the whole message's base offset and
+			// length, not the final chunk's. One accumulator per
+			// (sender, export) is enough: each sender LCP serializes its
+			// send queue and the link delivers in order, so chunks of one
+			// message never interleave with another on the same channel.
+			// (Without the reliability layer a lost final chunk can leave
+			// an accumulator behind; the next notifying message from the
+			// same sender then reports a merged extent — the price of the
+			// paper's detect-but-don't-recover link, §4.2.)
+			key := notifyKey{src: hdr.SrcNode, pid: hdr.SrcPid, tag: entry.tag}
+			acc, live := l.notifyAcc[key]
+			if !live {
+				acc = &notifyAccum{start: chunkOff}
+				l.notifyAcc[key] = acc
+			}
+			acc.bytes += int(hdr.DataLen)
+			if hdr.Flags&flagLastChunk != 0 {
+				delete(l.notifyAcc, key)
+				board.RaiseInterrupt(notifyIRQ{
+					pid:    entry.owner,
+					tag:    entry.tag,
+					offset: acc.start,
+					length: acc.bytes,
+					from:   ProcID{Node: int(hdr.SrcNode), Pid: int(hdr.SrcPid)},
+				})
+			}
 		}
 	}
+}
+
+// notifyKey identifies the channel an in-flight notifying message is
+// arriving on: sender node and pid, destination export tag.
+type notifyKey struct {
+	src uint8
+	pid uint16
+	tag uint32
+}
+
+// notifyAccum tracks a notifying message mid-arrival: base offset of its
+// first chunk within the export and bytes deposited so far.
+type notifyAccum struct {
+	start int
+	bytes int
 }
 
 // protViolation counts a rejected packet (forged, malformed, or outside

@@ -18,11 +18,12 @@ func TestNotificationInvokesHandler(t *testing.T) {
 		}
 		var gotTag uint32
 		var gotOffset, gotLen int
+		var gotFrom ProcID
 		var fired int
 		var firedAt sim.Time
-		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) {
+		recv.RegisterHandler(9, func(hp *simProc, from ProcID, tag uint32, offset, length int) {
 			fired++
-			gotTag, gotOffset, gotLen = tag, offset, length
+			gotFrom, gotTag, gotOffset, gotLen = from, tag, offset, length
 			firedAt = hp.Now()
 		})
 
@@ -46,6 +47,9 @@ func TestNotificationInvokesHandler(t *testing.T) {
 		if gotTag != 9 || gotOffset != 100 || gotLen != 9 {
 			t.Errorf("handler got tag=%d offset=%d len=%d, want 9/100/9", gotTag, gotOffset, gotLen)
 		}
+		if gotFrom != send.ID() {
+			t.Errorf("handler got from=%+v, want %+v", gotFrom, send.ID())
+		}
 		// The data must already be in memory when the handler runs
 		// (notification fires after delivery, §2).
 		data, _ := recv.Read(buf+100, 9)
@@ -68,7 +72,7 @@ func TestNoNotificationWithoutFlag(t *testing.T) {
 			t.Fatal(err)
 		}
 		fired := 0
-		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) { fired++ })
+		recv.RegisterHandler(9, func(hp *simProc, from ProcID, tag uint32, offset, length int) { fired++ })
 		dest, _, _ := send.Import(p, 1, 9)
 		src, _ := send.Malloc(mem.PageSize)
 		if err := send.SendMsgSync(p, src, dest, 64, SendOptions{}); err != nil {
@@ -91,7 +95,7 @@ func TestNotificationSuppressedWhenExportForbidsIt(t *testing.T) {
 			t.Fatal(err)
 		}
 		fired := 0
-		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) { fired++ })
+		recv.RegisterHandler(9, func(hp *simProc, from ProcID, tag uint32, offset, length int) { fired++ })
 		dest, _, _ := send.Import(p, 1, 9)
 		src, _ := send.Malloc(mem.PageSize)
 		if err := send.SendMsgSync(p, src, dest, 64, SendOptions{Notify: true}); err != nil {
@@ -115,8 +119,10 @@ func TestNotificationOnLongSendFiresOnceAfterLastChunk(t *testing.T) {
 		}
 		fired := 0
 		complete := false
-		recv.RegisterHandler(9, func(hp *simProc, tag uint32, offset, length int) {
+		gotOffset, gotLen := -1, -1
+		recv.RegisterHandler(9, func(hp *simProc, from ProcID, tag uint32, offset, length int) {
 			fired++
+			gotOffset, gotLen = offset, length
 			// All bytes of the message must be visible.
 			last, _ := recv.Read(buf+size-1, 1)
 			complete = last[0] == 0x5A
@@ -135,6 +141,11 @@ func TestNotificationOnLongSendFiresOnceAfterLastChunk(t *testing.T) {
 		}
 		if !complete {
 			t.Error("notification fired before the whole message was delivered")
+		}
+		// Message-level notification: base offset and total length of the
+		// whole chunked message, not the final chunk's.
+		if gotOffset != 0 || gotLen != size {
+			t.Errorf("notification reported offset=%d len=%d, want 0/%d", gotOffset, gotLen, size)
 		}
 	})
 }
@@ -163,7 +174,7 @@ func TestHandlerCanSendReply(t *testing.T) {
 		}
 
 		srvSrc, _ := server.Malloc(mem.PageSize)
-		server.RegisterHandler(1, func(hp *simProc, tag uint32, offset, length int) {
+		server.RegisterHandler(1, func(hp *simProc, from ProcID, tag uint32, offset, length int) {
 			req, _ := server.Read(reqBuf+mem.VirtAddr(offset), length)
 			reply := append([]byte("re:"), req...)
 			if err := server.Write(srvSrc, reply); err != nil {

@@ -73,8 +73,13 @@ type exportRec struct {
 }
 
 // NotifyHandler is a user-level notification handler (§2): invoked after a
-// notifying message has been delivered into the receive buffer.
-type NotifyHandler func(p *simProc, tag uint32, offset, length int)
+// notifying message has been delivered into the receive buffer. from
+// identifies the sending process (taken from the packet header), so a
+// handler on an export imported by many peers — the fan-in idiom the
+// collectives layer relies on — can demultiplex without encoding the
+// sender into the payload. offset and length describe the whole message
+// within the export, across all of its chunks.
+type NotifyHandler func(p *simProc, from ProcID, tag uint32, offset, length int)
 
 // ID returns the process's cluster-wide identity.
 func (proc *Process) ID() ProcID { return ProcID{Node: proc.Node.ID, Pid: proc.Pid} }
