@@ -18,7 +18,7 @@ func TestResultsGolden(t *testing.T) {
 		t.Skip("full deterministic suite is seconds of simulation")
 	}
 	var buf bytes.Buffer
-	ran, err := runExperiments(&buf, "", true, false)
+	ran, err := runExperiments(&buf, "", true, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,13 @@
 // short metrics summary after each experiment. Traces carry only virtual
 // timestamps, so two runs of the same experiment produce byte-identical
 // artifacts. See docs/OBSERVABILITY.md.
+//
+// Every experiment additionally streams its trace events through the
+// bottleneck analyzer (internal/analysis); each sweep prints the
+// analyzer's one-line verdict and embeds the full report in its JSON
+// artifact. -analyze prints the ranked top-k resource table after each
+// experiment, and -analyze-out writes the report JSON (last run wins).
+// See docs/ANALYSIS.md.
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON artifact here")
 		metrPth  = flag.String("metrics", "", "write a metrics snapshot JSON artifact here")
 		traceCap = flag.Int("trace-capacity", 0, "trace ring buffer size in events (0 = default)")
+		analyze  = flag.Bool("analyze", false, "print the full bottleneck analysis table after each experiment")
+		analyOut = flag.String("analyze-out", "", "write the bottleneck analysis report JSON here (last run wins)")
 	)
 	flag.Parse()
 
@@ -68,8 +77,9 @@ func main() {
 		TracePath:     *tracePth,
 		MetricsPath:   *metrPth,
 		TraceCapacity: *traceCap,
+		AnalysisPath:  *analyOut,
 	})
-	ran, err := runExperiments(os.Stdout, *id, *detOnly, observing)
+	ran, err := runExperiments(os.Stdout, *id, *detOnly, observing, *analyze)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vmmcbench: %v\n", err)
 		os.Exit(1)

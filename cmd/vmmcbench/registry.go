@@ -195,8 +195,11 @@ func writeTable(w io.Writer, t bench.Table) { fmt.Fprintln(w, t.Format()) }
 // runExperiments renders every experiment matching the filter to w, in
 // registry order. It is the single dispatch path shared by main and the
 // RESULTS.txt golden test. observing additionally prints the metrics
-// summary bench collects when trace/metrics artifacts are enabled.
-func runExperiments(w io.Writer, id string, deterministicOnly, observing bool) (ran bool, err error) {
+// summary bench collects when trace/metrics artifacts are enabled;
+// analyzing prints the full bottleneck analysis table after each
+// experiment (the table-driven -analyze report; sweeps carry their
+// per-configuration verdicts in their own table notes regardless).
+func runExperiments(w io.Writer, id string, deterministicOnly, observing, analyzing bool) (ran bool, err error) {
 	for _, e := range experiments {
 		if id != "" && e.id != id {
 			continue
@@ -211,6 +214,11 @@ func runExperiments(w io.Writer, id string, deterministicOnly, observing bool) (
 		if observing {
 			if s := bench.LastMetricsSummary(); s != "" {
 				fmt.Fprintf(w, "%s\n\n", s)
+			}
+		}
+		if analyzing {
+			if rep := bench.LastAnalysis(); rep != nil {
+				writeTable(w, bench.AnalysisTable(rep))
 			}
 		}
 		ran = true

@@ -1,0 +1,170 @@
+package analysis
+
+import "testing"
+
+// TestHistBinUpperConsistent checks the bin geometry: every duration must
+// land in a bin whose reported upper bound is >= the duration and within
+// 12.5% of it (the log-linear resolution contract).
+func TestHistBinUpperConsistent(t *testing.T) {
+	for _, ns := range []int64{0, 1, 7, 8, 9, 15, 16, 100, 103, 104, 1000, 1 << 20, 1<<40 + 12345} {
+		bin := histBin(ns)
+		up := histUpper(bin)
+		if up < ns {
+			t.Errorf("histUpper(histBin(%d)) = %d, below the value", ns, up)
+		}
+		if ns >= 8 && float64(up) > float64(ns)*1.125 {
+			t.Errorf("histUpper(histBin(%d)) = %d, more than 12.5%% above", ns, up)
+		}
+	}
+	if got := histBin(-5); got != 0 {
+		t.Errorf("negative duration binned at %d, want 0", got)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var h logHist
+	if got := h.percentile(50); got != 0 {
+		t.Errorf("empty histogram p50 = %d, want 0", got)
+	}
+	h.add(5)
+	for _, p := range []int{1, 50, 100} {
+		if got := h.percentile(p); got != 5 {
+			t.Errorf("single-sample p%d = %d, want 5", p, got)
+		}
+	}
+	// 99 fast waits and one slow one: p50 and even p99 (rank 99 of 100)
+	// track the fast cluster; only p100 reaches the outlier's bin.
+	h = logHist{}
+	for i := 0; i < 99; i++ {
+		h.add(100)
+	}
+	h.add(10000)
+	if got := h.percentile(50); got < 100 || got > 112 {
+		t.Errorf("p50 = %d, want 100 within 12.5%%", got)
+	}
+	if got := h.percentile(99); got < 100 || got > 112 {
+		t.Errorf("p99 = %d, want the fast cluster (rank 99 of 100)", got)
+	}
+	if got := h.percentile(100); got < 10000 || got > 11250 {
+		t.Errorf("p100 = %d, want 10000 within 12.5%%", got)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b logHist
+	a.add(10)
+	b.add(10)
+	b.add(1000)
+	a.merge(&b)
+	if a.total != 3 {
+		t.Fatalf("merged total = %d, want 3", a.total)
+	}
+	if got := a.percentile(100); got < 1000 {
+		t.Errorf("merged p100 = %d, want >= 1000", got)
+	}
+}
+
+func TestDepthPercentiles(t *testing.T) {
+	if p50, max := depthPercentiles(nil); p50 != 0 || max != 0 {
+		t.Errorf("empty depth map = (%d, %d), want (0, 0)", p50, max)
+	}
+	// 60% of time at depth 0, 30% at depth 2, 10% at depth 7.
+	p50, max := depthPercentiles(map[int]int64{0: 600, 2: 300, 7: 100})
+	if p50 != 0 || max != 7 {
+		t.Errorf("depth percentiles = (%d, %d), want (0, 7)", p50, max)
+	}
+	p50, _ = depthPercentiles(map[int]int64{0: 100, 3: 900})
+	if p50 != 3 {
+		t.Errorf("depth p50 = %d, want 3", p50)
+	}
+}
+
+// newTestClass builds a classState with n synthetic instances, enough for
+// bucket accounting (which only reads len(comps)).
+func newTestClass(n int) *classState {
+	cl := &classState{key: "test", label: "test"}
+	for i := 0; i < n; i++ {
+		cl.comps = append(cl.comps, &compState{class: cl})
+	}
+	return cl
+}
+
+func TestBucketsSpanCrossingBoundary(t *testing.T) {
+	b := newBucketSet(100, 1024)
+	cl := newTestClass(1)
+	// 40 ns in bucket 0, the whole of bucket 1, 10 ns in bucket 2.
+	cl.addBusy(&b, 60, 210)
+	want := []int64{40, 100, 10}
+	if len(cl.buckets.busyNS) != 3 {
+		t.Fatalf("bucket count = %d, want 3", len(cl.buckets.busyNS))
+	}
+	for i, w := range want {
+		if cl.buckets.busyNS[i] != w {
+			t.Errorf("bucket %d = %d ns, want %d", i, cl.buckets.busyNS[i], w)
+		}
+	}
+	if got := b.peakFrac(cl, 300); got != 1 {
+		t.Errorf("peakFrac = %v, want 1 (bucket 1 fully busy)", got)
+	}
+}
+
+func TestBucketsZeroDurationSpan(t *testing.T) {
+	b := newBucketSet(100, 1024)
+	cl := newTestClass(1)
+	cl.addBusy(&b, 50, 50)
+	cl.addBusy(&b, 80, 70) // end < start: ignored, not negative credit
+	if len(cl.buckets.busyNS) != 0 {
+		t.Errorf("zero/negative spans allocated %d buckets, want none", len(cl.buckets.busyNS))
+	}
+	if got := b.peakFrac(cl, 100); got != 0 {
+		t.Errorf("peakFrac of empty buckets = %v, want 0", got)
+	}
+}
+
+func TestBucketsFoldDoubling(t *testing.T) {
+	b := newBucketSet(100, 4) // fold as soon as an index reaches 4
+	cl := newTestClass(1)
+	cl.addBusy(&b, 0, 100)   // bucket 0 full
+	cl.addBusy(&b, 250, 300) // bucket 2 half
+	if b.widthNS != 100 {
+		t.Fatalf("width folded early: %d", b.widthNS)
+	}
+	// Busy time at t=450 forces index 4: one fold to width 200.
+	cl.addBusy(&b, 400, 450)
+	if b.widthNS != 200 {
+		t.Fatalf("width = %d after overflow, want 200", b.widthNS)
+	}
+	var total int64
+	for _, v := range cl.buckets.busyNS {
+		total += v
+	}
+	if total != 200 {
+		t.Errorf("folding lost busy time: total = %d ns, want 200", total)
+	}
+	// Fold is pairwise: old buckets (100, 0, 50, 0) -> (100, 50), then
+	// the new 50 ns lands in new-bucket 2.
+	want := []int64{100, 50, 50}
+	if len(cl.buckets.busyNS) != len(want) {
+		t.Fatalf("buckets after fold = %v", cl.buckets.busyNS)
+	}
+	for i, w := range want {
+		if cl.buckets.busyNS[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, cl.buckets.busyNS[i], w)
+		}
+	}
+}
+
+// TestPeakFracClipsPartialTail: a short final bucket must not dilute the
+// peak, and a busy final bucket must not inflate it past 1.
+func TestPeakFracClipsPartialTail(t *testing.T) {
+	b := newBucketSet(100, 1024)
+	cl := newTestClass(2) // two instances: denominators double
+	cl.addBusy(&b, 0, 50)
+	cl.addBusy(&b, 100, 120)
+	cl.addBusy(&b, 100, 120) // both instances busy in the 20 ns tail
+	// Window ends at 120: bucket 1 is 20 ns wide, 40 ns busy across 2
+	// instances -> exactly 1.0 after clipping.
+	if got := b.peakFrac(cl, 120); got != 1 {
+		t.Errorf("peakFrac = %v, want 1 (clipped tail, 2 instances)", got)
+	}
+}

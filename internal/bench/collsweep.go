@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/coll"
 	"repro/internal/fault"
 	"repro/internal/lanai"
@@ -80,7 +81,11 @@ func CollSweep(cfg CollConfig) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	var results []CollResult
+	checkRep := takeAnalysis()
+	var (
+		results []CollResult
+		reports []*analysis.Report
+	)
 	for _, n := range cfg.Nodes {
 		for _, size := range cfg.Sizes {
 			for _, algo := range []coll.Algorithm{coll.Tree, coll.Ring} {
@@ -88,14 +93,20 @@ func CollSweep(cfg CollConfig) (Table, error) {
 				if err != nil {
 					return t, err
 				}
+				rep := takeAnalysis()
 				if n == cfg.Nodes[0] && size == cfg.Sizes[0] && algo == coll.Tree {
 					if r.PerOp != check.PerOp || r.PayloadMsgs != check.PayloadMsgs {
 						return t, fmt.Errorf(
 							"bench: collsweep determinism drift at %d nodes/%d B: per-op %v vs %v, msgs %d vs %d",
 							n, size, r.PerOp, check.PerOp, r.PayloadMsgs, check.PayloadMsgs)
 					}
+					if rep != nil && checkRep != nil &&
+						analysisJSON(rep, "") != analysisJSON(checkRep, "") {
+						return t, fmt.Errorf("bench: collsweep analysis drift at %d nodes/%d B", n, size)
+					}
 				}
 				results = append(results, r)
+				reports = append(reports, rep)
 				pick := ""
 				if r.ModelChoice {
 					pick = "<-"
@@ -118,6 +129,7 @@ func CollSweep(cfg CollConfig) (Table, error) {
 	if err != nil {
 		return t, err
 	}
+	healRep := takeAnalysis()
 	t.Rows = append(t.Rows, []string{
 		fmt.Sprintf("%d", heal.Nodes),
 		fmt.Sprintf("%d", heal.Bytes),
@@ -131,9 +143,15 @@ func CollSweep(cfg CollConfig) (Table, error) {
 	t.Notes = append(t.Notes,
 		"auto picks: the calibrated cost model's per-cell choice; it must track the measured minimum at the extremes",
 		"ring+heal row: 3 chained ring all-reduces on the diamond fabric across a healed link outage; 'model est' column holds the fault-free elapsed time")
+	if n := len(results); n > 0 {
+		last := results[n-1]
+		t.Notes = append(t.Notes, analysisNote(
+			fmt.Sprintf("%d nodes, %d B, %s", last.Nodes, last.Bytes, last.Algo), reports[n-1]))
+	}
+	t.Notes = append(t.Notes, analysisNote("ring+heal", healRep))
 
 	if cfg.Out != "" {
-		if err := writeCollJSON(cfg, results, heal); err != nil {
+		if err := writeCollJSON(cfg, results, reports, heal, healRep); err != nil {
 			return t, err
 		}
 	}
@@ -360,7 +378,7 @@ func runCollHealCase() (CollHealResult, error) {
 	return res, nil
 }
 
-func writeCollJSON(cfg CollConfig, rs []CollResult, heal CollHealResult) error {
+func writeCollJSON(cfg CollConfig, rs []CollResult, reps []*analysis.Report, heal CollHealResult, healRep *analysis.Report) error {
 	f, err := os.Create(cfg.Out)
 	if err != nil {
 		return fmt.Errorf("bench: coll artifact: %w", err)
@@ -375,20 +393,34 @@ func writeCollJSON(cfg CollConfig, rs []CollResult, heal CollHealResult) error {
 		if i == len(rs)-1 {
 			comma = ""
 		}
+		verdict := ""
+		if i < len(reps) && reps[i] != nil {
+			verdict = reps[i].Verdict
+		}
 		fmt.Fprintf(f, "    {\"nodes\": %d, \"bytes\": %d, \"algorithm\": %q, "+
 			"\"per_op_us\": %.3f, \"model_est_us\": %.3f, \"model_choice\": %v, "+
-			"\"payload_msgs\": %d, \"credit_stalls\": %d}%s\n",
+			"\"payload_msgs\": %d, \"credit_stalls\": %d, \"verdict\": %q}%s\n",
 			r.Nodes, r.Bytes, r.Algo.String(),
 			r.PerOp.Micros(), r.ModelEst.Micros(), r.ModelChoice,
-			r.PayloadMsgs, r.CreditStalls, comma)
+			r.PayloadMsgs, r.CreditStalls, verdict, comma)
 	}
 	fmt.Fprintf(f, "  ],\n")
+	healVerdict := ""
+	if healRep != nil {
+		healVerdict = healRep.Verdict
+	}
 	fmt.Fprintf(f, "  \"heal_interop\": {\"nodes\": %d, \"bytes\": %d, \"rounds\": %d, "+
 		"\"clean_elapsed_us\": %.3f, \"healed_elapsed_us\": %.3f, "+
-		"\"results_match\": %v, \"send_failures\": %d, \"retransmits\": %d}\n",
+		"\"results_match\": %v, \"send_failures\": %d, \"retransmits\": %d, "+
+		"\"verdict\": %q},\n",
 		heal.Nodes, heal.Bytes, heal.Rounds,
 		heal.CleanElapsed.Micros(), heal.HealedElapsed.Micros(),
-		heal.ResultsMatch, heal.SendFailures, heal.Retransmits)
+		heal.ResultsMatch, heal.SendFailures, heal.Retransmits, healVerdict)
+	if n := len(reps); n > 0 && reps[n-1] != nil {
+		fmt.Fprintf(f, "  \"analysis\": %s\n", analysisJSON(reps[n-1], "  ")[2:])
+	} else {
+		fmt.Fprintf(f, "  \"analysis\": null\n")
+	}
 	fmt.Fprintf(f, "}\n")
 	if cerr := f.Close(); cerr != nil {
 		return fmt.Errorf("bench: coll artifact: %w", cerr)

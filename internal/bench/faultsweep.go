@@ -39,6 +39,11 @@ func FaultSweep() (Table, error) {
 				return t, err
 			}
 			t.Rows = append(t.Rows, row)
+			// The harshest cell of each configuration gets its bottleneck
+			// verdict in the notes.
+			if ber == faultSweepBERs[len(faultSweepBERs)-1] {
+				t.Notes = append(t.Notes, analysisNote(row[0], takeAnalysis()))
+			}
 		}
 	}
 	return t, nil

@@ -208,5 +208,8 @@ func Headline() (Table, error) {
 			{"bidirectional total bandwidth", fmt.Sprintf("%.1f MB/s", bid), "91 MB/s"},
 		}
 	})
+	if err == nil {
+		t.Notes = append(t.Notes, analysisNote("pair", takeAnalysis()))
+	}
 	return t, err
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/fault"
 	"repro/internal/lanai"
 	"repro/internal/mem"
@@ -120,21 +121,36 @@ func HealSweep(cfg HealConfigSweep) (Table, error) {
 	}
 	cells = append(cells, cell{name: "spine failover", spine: true})
 
-	var results []HealResult
+	var (
+		results []HealResult
+		reports []*analysis.Report
+	)
 	for _, cl := range cells {
 		r, err := runHealCase(cl.name, cl.outage, cl.spine, cfg.Msgs)
 		if err != nil {
 			return t, err
 		}
+		firstRep := takeAnalysis()
 		again, err := runHealCase(cl.name, cl.outage, cl.spine, cfg.Msgs)
 		if err != nil {
 			return t, err
 		}
+		rep := takeAnalysis()
 		if r != again {
 			return t, fmt.Errorf("bench: healsweep determinism drift in %q: %+v vs %+v",
 				cl.name, r, again)
 		}
+		if rep != nil && firstRep != nil &&
+			analysisJSON(rep, "") != analysisJSON(firstRep, "") {
+			return t, fmt.Errorf("bench: healsweep analysis drift in %q", cl.name)
+		}
+		label := cl.name
+		if cl.outage > 0 {
+			label = fmt.Sprintf("%s %.0f us", cl.name, cl.outage.Micros())
+		}
 		results = append(results, r)
+		reports = append(reports, rep)
+		t.Notes = append(t.Notes, analysisNote(label, rep))
 		t.Rows = append(t.Rows, []string{
 			r.Case,
 			fmt.Sprintf("%.0f us", r.OutageUS),
@@ -149,7 +165,7 @@ func HealSweep(cfg HealConfigSweep) (Table, error) {
 		})
 	}
 	if cfg.Out != "" {
-		if err := writeHealJSON(cfg, results); err != nil {
+		if err := writeHealJSON(cfg, results, reports); err != nil {
 			return t, err
 		}
 	}
@@ -323,7 +339,7 @@ func runHealCase(name string, outage sim.Time, spine bool, msgs int) (HealResult
 // fixed order and every value is virtual-time derived, so the file is
 // byte-identical across runs — a golden-able determinism witness, unlike
 // the wall-clock BENCH_scale.json.
-func writeHealJSON(cfg HealConfigSweep, rs []HealResult) error {
+func writeHealJSON(cfg HealConfigSweep, rs []HealResult, reps []*analysis.Report) error {
 	f, err := os.Create(cfg.Out)
 	if err != nil {
 		return fmt.Errorf("bench: heal artifact: %w", err)
@@ -339,16 +355,27 @@ func writeHealJSON(cfg HealConfigSweep, rs []HealResult) error {
 		if i == len(rs)-1 {
 			comma = ""
 		}
+		verdict := ""
+		if i < len(reps) && reps[i] != nil {
+			verdict = reps[i].Verdict
+		}
 		fmt.Fprintf(f, "    {\"case\": %q, \"outage_us\": %.0f, \"messages\": %d, "+
 			"\"virtual_elapsed_us\": %.3f, \"goodput_mb_s\": %.2f, "+
 			"\"stalls\": %d, \"remaps\": %d, \"route_swaps\": %d, \"healed\": %d, "+
-			"\"abandoned\": %d, \"retransmits\": %d, \"send_failures\": %d}%s\n",
+			"\"abandoned\": %d, \"retransmits\": %d, \"send_failures\": %d, "+
+			"\"verdict\": %q}%s\n",
 			r.Case, r.OutageUS, r.Messages,
 			r.VirtualElapsed.Micros(), r.GoodputMBps,
 			r.Stalls, r.Remaps, r.RouteSwaps, r.Healed,
-			r.Abandoned, r.Retransmits, r.SendFailures, comma)
+			r.Abandoned, r.Retransmits, r.SendFailures, verdict, comma)
 	}
-	fmt.Fprintf(f, "  ]\n}\n")
+	fmt.Fprintf(f, "  ],\n")
+	if n := len(reps); n > 0 && reps[n-1] != nil {
+		fmt.Fprintf(f, "  \"analysis\": %s\n", analysisJSON(reps[n-1], "  ")[2:])
+	} else {
+		fmt.Fprintf(f, "  \"analysis\": null\n")
+	}
+	fmt.Fprintf(f, "}\n")
 	if cerr := f.Close(); cerr != nil {
 		return fmt.Errorf("bench: heal artifact: %w", cerr)
 	}

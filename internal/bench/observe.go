@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -26,11 +27,21 @@ type Observability struct {
 	// TraceCapacity bounds the trace ring buffer in events; non-positive
 	// selects trace.DefaultCapacity.
 	TraceCapacity int
+	// AnalysisPath, when non-empty, writes the bottleneck analysis
+	// report JSON here after every run (last run wins, like the other
+	// artifacts).
+	AnalysisPath string
+	// DisableAnalysis turns the always-on bottleneck analyzer off. The
+	// analyzer is a streaming trace sink with no effect on virtual time,
+	// so it defaults to on: every experiment ends with a report.
+	DisableAnalysis bool
 }
 
 var (
-	obs         Observability
-	lastSummary string
+	obs          Observability
+	lastSummary  string
+	curAnalyzer  *analysis.Analyzer
+	lastAnalysis *analysis.Report
 )
 
 // SetObservability installs the artifact configuration used by all
@@ -39,13 +50,25 @@ func SetObservability(o Observability) { obs = o }
 
 // observedEngine is the engine constructor every experiment uses: a fresh
 // engine with the trace collector armed when a trace artifact was
-// requested.
+// requested, and the bottleneck analyzer subscribed as a streaming sink
+// unless analysis is disabled.
 func observedEngine() *sim.Engine {
 	eng := sim.NewEngine()
 	if obs.TracePath != "" {
 		eng.Trace().Enable(obs.TraceCapacity)
 	}
+	if !obs.DisableAnalysis {
+		curAnalyzer = analysis.NewAnalyzer(analysis.Config{})
+		eng.Trace().Subscribe(curAnalyzer)
+	}
 	return eng
+}
+
+// markPhase splits the analysis attribution window: busy time and waits
+// after this instant are credited to the named phase. Experiments call it
+// at their interesting boundaries (setup done, exchange started, drain).
+func markPhase(eng *sim.Engine, name string) {
+	eng.TraceInstant("bench", "phase", name)
 }
 
 // capture records the run's metrics summary and writes the configured
@@ -55,6 +78,27 @@ func observedEngine() *sim.Engine {
 func capture(eng *sim.Engine) error {
 	snap := eng.MetricsSnapshot()
 	lastSummary = summarize(snap)
+	if curAnalyzer != nil {
+		lastAnalysis = curAnalyzer.Finalize(snap.NowNS, snap)
+		eng.Trace().Unsubscribe(curAnalyzer)
+		curAnalyzer = nil
+		if obs.AnalysisPath != "" {
+			f, err := os.Create(obs.AnalysisPath)
+			if err != nil {
+				return fmt.Errorf("bench: analysis artifact: %w", err)
+			}
+			werr := lastAnalysis.WriteJSON(f, "")
+			if werr == nil {
+				_, werr = fmt.Fprintln(f)
+			}
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("bench: analysis artifact: %w", werr)
+			}
+		}
+	}
 	if obs.TracePath != "" {
 		f, err := os.Create(obs.TracePath)
 		if err != nil {
@@ -89,6 +133,12 @@ func capture(eng *sim.Engine) error {
 // high-water marks, TLB hit/miss counts, and per-link byte counts. Empty
 // until an experiment has run.
 func LastMetricsSummary() string { return lastSummary }
+
+// LastAnalysis returns the bottleneck report of the most recently
+// completed run (the last engine captured — for sweeps, the last
+// configuration). Nil until an experiment has run or when analysis is
+// disabled.
+func LastAnalysis() *analysis.Report { return lastAnalysis }
 
 // summarize renders the headline metrics of a snapshot. Snapshot sections
 // are sorted by name, so the output is deterministic.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/lanai"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -129,20 +130,33 @@ func ScaleSweep(cfg ScaleConfig) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	var results []ScaleResult
+	checkRep := takeAnalysis()
+	var (
+		results []ScaleResult
+		reports []*analysis.Report
+	)
 	for i, n := range cfg.Nodes {
 		r, err := runScaleCase(n, cfg.MsgBytes, cfg.Rounds)
 		if err != nil {
 			return t, err
 		}
+		rep := takeAnalysis()
 		if i == 0 {
 			if r.VirtualElapsed != check.VirtualElapsed || r.Events != check.Events {
 				return t, fmt.Errorf(
 					"bench: scalesweep determinism drift at %d nodes: elapsed %v vs %v, events %d vs %d",
 					n, r.VirtualElapsed, check.VirtualElapsed, r.Events, check.Events)
 			}
+			// The bottleneck report is virtual-time only, so it must be
+			// byte-identical across the double run too.
+			if rep != nil && checkRep != nil &&
+				analysisJSON(rep, "") != analysisJSON(checkRep, "") {
+				return t, fmt.Errorf("bench: scalesweep analysis drift at %d nodes", n)
+			}
 		}
 		results = append(results, r)
+		reports = append(reports, rep)
+		t.Notes = append(t.Notes, analysisNote(fmt.Sprintf("%d nodes", n), rep))
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", r.Nodes),
 			fmt.Sprintf("%d", r.Messages),
@@ -157,7 +171,7 @@ func ScaleSweep(cfg ScaleConfig) (Table, error) {
 		})
 	}
 	if cfg.Out != "" {
-		if err := writeScaleJSON(cfg, results); err != nil {
+		if err := writeScaleJSON(cfg, results, reports); err != nil {
 			return t, err
 		}
 	}
@@ -215,6 +229,9 @@ func runScaleCase(nodes, msgBytes, rounds int) (ScaleResult, error) {
 	for i := 0; i < nodes; i++ {
 		i := i
 		c.Go(fmt.Sprintf("sweep:%d", i), func(p *sim.Proc) {
+			if i == 0 {
+				markPhase(eng, "export")
+			}
 			proc, err := c.Nodes[i].NewProcess(p)
 			if err != nil {
 				panic(err)
@@ -233,6 +250,9 @@ func runScaleCase(nodes, msgBytes, rounds int) (ScaleResult, error) {
 				}
 			}
 			exported.await(p)
+			if i == 0 {
+				markPhase(eng, "import")
+			}
 
 			importSem.acquire(p)
 			dests := make([]vmmc.ProxyAddr, nodes)
@@ -255,6 +275,7 @@ func runScaleCase(nodes, msgBytes, rounds int) (ScaleResult, error) {
 			imported.await(p)
 			if i == 0 {
 				start = p.Now()
+				markPhase(eng, "exchange")
 			}
 
 			// Ring-shifted schedule: in step s every node sends to
@@ -286,6 +307,9 @@ func runScaleCase(nodes, msgBytes, rounds int) (ScaleResult, error) {
 				}
 			}
 
+			if i == 0 {
+				markPhase(eng, "drain")
+			}
 			// In-order delivery per pair: the final round's marker in a
 			// slot means every earlier round landed there too. PollUntil
 			// parks between deposits rather than spinning — at 256 nodes
@@ -358,8 +382,10 @@ func runScaleCase(nodes, msgBytes, rounds int) (ScaleResult, error) {
 
 // writeScaleJSON emits the bench-trajectory artifact. Keys are written in
 // a fixed order; wall-clock fields are host-dependent by nature, so this
-// file is a performance record, not a golden artifact.
-func writeScaleJSON(cfg ScaleConfig, rs []ScaleResult) error {
+// file is a performance record, not a golden artifact. The per-config
+// verdicts and the final full analysis report are virtual-time-only and
+// therefore deterministic.
+func writeScaleJSON(cfg ScaleConfig, rs []ScaleResult, reps []*analysis.Report) error {
 	f, err := os.Create(cfg.Out)
 	if err != nil {
 		return fmt.Errorf("bench: scale artifact: %w", err)
@@ -375,18 +401,29 @@ func writeScaleJSON(cfg ScaleConfig, rs []ScaleResult) error {
 		if i == len(rs)-1 {
 			comma = ""
 		}
+		verdict := ""
+		if i < len(reps) && reps[i] != nil {
+			verdict = reps[i].Verdict
+		}
 		fmt.Fprintf(f, "    {\"nodes\": %d, \"messages\": %d, \"payload_bytes\": %d, "+
 			"\"virtual_elapsed_us\": %.3f, \"goodput_mb_s\": %.2f, "+
 			"\"events_dispatched\": %d, \"wall_seconds\": %.3f, \"events_per_sec\": %.0f, "+
 			"\"allocs_per_event\": %.3f, \"peak_event_heap\": %d, \"compactions\": %d, "+
-			"\"heap_sys_mb\": %.1f}%s\n",
+			"\"heap_sys_mb\": %.1f, \"verdict\": %q}%s\n",
 			r.Nodes, r.Messages, r.PayloadBytes,
 			r.VirtualElapsed.Micros(), r.GoodputMBps,
 			r.Events, r.WallSeconds, r.EventsPerSec,
 			r.AllocsPerEvent, r.PeakEventHeap, r.Compactions,
-			r.HeapSysMB, comma)
+			r.HeapSysMB, verdict, comma)
 	}
-	fmt.Fprintf(f, "  ]\n}\n")
+	fmt.Fprintf(f, "  ],\n")
+	// Full top-k report of the largest configuration.
+	if n := len(reps); n > 0 && reps[n-1] != nil {
+		fmt.Fprintf(f, "  \"analysis\": %s\n", analysisJSON(reps[n-1], "  ")[2:])
+	} else {
+		fmt.Fprintf(f, "  \"analysis\": null\n")
+	}
+	fmt.Fprintf(f, "}\n")
 	if cerr := f.Close(); cerr != nil {
 		return fmt.Errorf("bench: scale artifact: %w", cerr)
 	}

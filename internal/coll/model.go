@@ -5,6 +5,24 @@
 // payload at full bandwidth in n-th size blocks. The crossover falls out
 // of the same constants the simulator charges, so Auto tracks the
 // measured optimum.
+//
+// The model follows the credited slot protocol's actual critical path
+// (see coll.go and docs/COLLECTIVES.md, "Calibrating the cost model"):
+//
+//   - Alpha: the full fixed cost of one payload message from library
+//     post to the receiver's recvPayload returning — send post, LCP
+//     pickup, fabric traversal, receive handling, interrupt + signal
+//     delivery, the receiver's copy call, and the credit-return signal.
+//   - per-byte: the host-to-LANai DMA (the sender's SendMsgSync blocks
+//     on it) is serial with the receiver's bounce-buffer bcopy — a
+//     message's bytes cross both, so the streaming rate is the harmonic
+//     combination of the two, not the DMA rate alone.
+//   - drain: the final packet's store-and-forward tail (wire out, wire
+//     in, deposit DMA) cannot overlap anything and is paid per message.
+//   - Gamma: when one transfer spans several credited chunks, chunk k+1
+//     overlaps chunk k's receive processing; the pipeline bottleneck is
+//     the receiver CPU stage (interrupt, signal, copy, credit), so
+//     trailing chunks cost Gamma plus the copy time, not full Alpha.
 package coll
 
 import (
@@ -54,43 +72,102 @@ const (
 	KAllGather
 )
 
-// CostModel are the three constants the estimates are built from.
+// CostModel are the constants the estimates are built from.
 type CostModel struct {
-	// Alpha is the fixed cost of one point-to-point notifying message:
+	// Alpha is the full fixed cost of one credited payload message:
 	// library post, LCP pickup and injection, wire and switch latency,
-	// receive handling, interrupt entry and signal delivery.
+	// receive handling, interrupt entry and signal delivery, the
+	// receiver's copy-out call, and the credit-return signal.
 	Alpha sim.Time
-	// BytesPerSec is the streaming payload rate, bounded by the
-	// host-to-LANai DMA engine (the paper's 82 MB/s limit, §5.2).
+	// Gamma is the receiver-CPU share of Alpha (notification delivery,
+	// copy call, credit return). It is the steady-state per-chunk cost
+	// when consecutive chunks of one transfer pipeline: the sender's DMA
+	// of chunk k+1 overlaps the receiver's processing of chunk k, so
+	// only the receiver stage remains on the critical path.
+	Gamma sim.Time
+	// BytesPerSec is the streaming payload rate of a single message:
+	// the host-to-LANai DMA (§5.2's 82 MB/s limit) in series with the
+	// receiver's bounce-buffer bcopy (§5.4's ~50 MB/s) — every payload
+	// byte crosses both before recvPayload returns.
 	BytesPerSec float64
+	// DrainBytesPerSec is the store-and-forward rate of the final
+	// packet's tail — net send, net receive, and deposit DMA — which
+	// cannot overlap the stages above.
+	DrainBytesPerSec float64
+	// PacketBytes is the LCP's long-send chunking unit (the 4 KB
+	// transfer unit of §5.2); at most one packet's worth of drain is
+	// exposed per message.
+	PacketBytes int
 	// CombineBytesPerSec is the reduction combine rate, bounded by host
 	// memory bandwidth (the ~50 MB/s bcopy rate, §5.4).
 	CombineBytesPerSec float64
 }
 
 // ModelFromProfile composes the model constants from the platform
-// profile the simulator itself charges.
+// profile the simulator itself charges. The decomposition mirrors the
+// credited slot protocol's critical path; docs/COLLECTIVES.md describes
+// how it was validated against the measured collsweep cells.
 func ModelFromProfile(prof hw.Profile) CostModel {
-	alpha := prof.LibSendCost + 8*prof.PCIWriteCost + // post the request
-		prof.LCPDispatch + prof.LCPScanPerQueue + prof.LCPShortSend + prof.LCPHeaderPrep + // LCP send side
-		prof.NetSend.Setup + 2*prof.SwitchLatency + prof.NetRecv.Setup + // fabric
-		prof.LCPRecvPacket + prof.LANaiToHost.Setup + // LCP receive side
-		prof.InterruptCost + prof.SignalCost // notification delivery
+	// One short-send post from the host library: argument checks plus
+	// the descriptor writes over PCI. Paid once to post the payload and
+	// again by the receiver returning the flow-control credit.
+	post := prof.LibSendCost + 8*prof.PCIWriteCost
+	// LCP send side: pick up the request, prepare the chunk.
+	lcpSend := prof.LCPDispatch + prof.LCPScanPerQueue + prof.LCPLongSendSetup + prof.LCPHeaderPrep
+	// Fabric: engine setups and two switch hops.
+	fabric := prof.NetSend.Setup + 2*prof.SwitchLatency + prof.NetRecv.Setup
+	// LCP receive side through the deposit DMA and completion word.
+	lcpRecv := prof.LCPRecvPacket + prof.LANaiToHost.Setup + prof.LCPCompletion
+	// Host notification path plus the receiver's copy call and credit.
+	gamma := prof.InterruptCost + prof.SignalCost + prof.BcopySetup + post
+	alpha := post + prof.HostToLANai.Setup + lcpSend + fabric + lcpRecv + gamma
+	perByte := 1/prof.HostToLANai.Rate + 1/prof.BcopyRate
+	drain := 1/prof.NetSend.Rate + 1/prof.NetRecv.Rate + 1/prof.LANaiToHost.Rate
 	return CostModel{
 		Alpha:              alpha,
-		BytesPerSec:        prof.HostToLANai.Rate,
+		Gamma:              gamma,
+		BytesPerSec:        1 / perByte,
+		DrainBytesPerSec:   1 / drain,
+		PacketBytes:        4 << 10,
 		CombineBytesPerSec: prof.BcopyRate,
 	}
 }
 
-// xfer estimates one credited payload message of n bytes.
+// bytesTime converts n bytes at rate bytes/sec into simulated time.
+func bytesTime(n int, rate float64) sim.Time {
+	return sim.Time(float64(n) / rate * float64(sim.Second))
+}
+
+// xfer estimates one credited payload message of n bytes (n <= chunk):
+// fixed cost, streamed bytes, and the final packet's drain tail.
 func (m CostModel) xfer(n int) sim.Time {
-	return m.Alpha + sim.Time(float64(n)/m.BytesPerSec*float64(sim.Second))
+	p := n
+	if p > m.PacketBytes {
+		p = m.PacketBytes
+	}
+	return m.Alpha + bytesTime(n, m.BytesPerSec) + bytesTime(p, m.DrainBytesPerSec)
+}
+
+// xferChunked estimates moving an n-byte payload to one peer as
+// chunk-sized credited messages. The first chunk pays the full path;
+// each later chunk pipelines behind the receiver-CPU stage, costing
+// Gamma plus its copy-out time. This also charges blocks larger than
+// the slot size their per-chunk fixed costs — the ring algorithms send
+// bytes/n blocks that span several slots once payloads are large.
+func (m CostModel) xferChunked(n, chunk int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	if n <= chunk {
+		return m.xfer(n)
+	}
+	msgs := chunksOf(n, chunk)
+	return m.xfer(chunk) + sim.Time(msgs-1)*m.Gamma + bytesTime(n-chunk, m.CombineBytesPerSec)
 }
 
 // comb estimates combining an n-byte vector into an accumulator.
 func (m CostModel) comb(n int) sim.Time {
-	return sim.Time(float64(n) / m.CombineBytesPerSec * float64(sim.Second))
+	return bytesTime(n, m.CombineBytesPerSec)
 }
 
 func log2ceil(n int) int {
@@ -123,7 +200,7 @@ func (m CostModel) Estimate(kind Kind, algo Algorithm, n, bytes, chunk int) sim.
 	case KBroadcast:
 		if algo == Tree {
 			// Each tree level forwards the whole payload.
-			return sim.Time(rounds) * (sim.Time(msgs-1)*m.Alpha + m.xfer(bytes))
+			return sim.Time(rounds) * m.xferChunked(bytes, chunk)
 		}
 		// Pipelined chain: fill latency of n-1 hops, then stream the
 		// remaining chunks through.
@@ -134,27 +211,29 @@ func (m CostModel) Estimate(kind Kind, algo Algorithm, n, bytes, chunk int) sim.
 		return sim.Time(n-2+msgs) * m.xfer(c)
 	case KReduce:
 		if algo == Tree {
-			return sim.Time(rounds) * (sim.Time(msgs-1)*m.Alpha + m.xfer(bytes) + m.comb(bytes))
+			return sim.Time(rounds) * (m.xferChunked(bytes, chunk) + m.comb(bytes))
 		}
 		// Reduce-scatter then direct block gather to the root.
-		return sim.Time(n-1)*(m.xfer(block)+m.comb(block)) + sim.Time(n-1)*m.xfer(block)
+		return sim.Time(n-1)*(m.xferChunked(block, chunk)+m.comb(block)) +
+			sim.Time(n-1)*m.xferChunked(block, chunk)
 	case KAllReduce:
 		if algo == Tree {
 			return m.Estimate(KReduce, Tree, n, bytes, chunk) +
 				m.Estimate(KBroadcast, Tree, n, bytes, chunk)
 		}
 		// Reduce-scatter then ring all-gather.
-		return sim.Time(n-1)*(m.xfer(block)+m.comb(block)) + sim.Time(n-1)*m.xfer(block)
+		return sim.Time(n-1)*(m.xferChunked(block, chunk)+m.comb(block)) +
+			sim.Time(n-1)*m.xferChunked(block, chunk)
 	case KAllGather:
 		if algo == Tree {
 			// Binomial gather (critical path moves (n-1)·bytes toward
 			// the root over log n rounds) then tree broadcast of the
 			// full n·bytes vector.
 			gather := sim.Time(rounds)*m.Alpha +
-				sim.Time(float64((n-1)*bytes)/m.BytesPerSec*float64(sim.Second))
+				bytesTime((n-1)*bytes, m.BytesPerSec)
 			return gather + m.Estimate(KBroadcast, Tree, n, n*bytes, chunk)
 		}
-		return sim.Time(n-1) * m.xfer(bytes)
+		return sim.Time(n-1) * m.xferChunked(bytes, chunk)
 	default:
 		return 0
 	}

@@ -1,0 +1,121 @@
+// Package doccheck is a CI gate for the documentation's cross-references:
+// every relative markdown link in the repo's docs must point at a file
+// that exists, and every #anchor must match a heading in the target file.
+// It runs as an ordinary go test so `go test ./...` (and the ci workflow)
+// fails when a doc rename or heading edit breaks a link.
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// checkedDocs are the documentation files whose links are load-bearing.
+// ISSUE.md, PAPERS.md and SNIPPETS.md are generated working material and
+// may reference things that are not in the tree.
+var checkedDocs = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+	"docs/ANALYSIS.md",
+	"docs/COLLECTIVES.md",
+	"docs/OBSERVABILITY.md",
+	"docs/PERFORMANCE.md",
+	"docs/ROBUSTNESS.md",
+}
+
+var (
+	// [text](target) — skipping images and code spans is handled below.
+	linkRe    = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+)
+
+// slugify reduces a heading to its GitHub anchor: lowercase, punctuation
+// stripped, spaces to hyphens.
+func slugify(heading string) string {
+	// Inline code and emphasis markers do not survive into anchors.
+	heading = strings.NewReplacer("`", "", "*", "", "_", " ").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf returns the set of heading anchors a markdown file defines.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	anchors := make(map[string]bool)
+	for _, m := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		anchors[slugify(m[1])] = true
+	}
+	return anchors
+}
+
+func TestDocCrossReferences(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, doc := range checkedDocs {
+		path := filepath.Join(root, filepath.FromSlash(doc))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: listed in checkedDocs but unreadable: %v", doc, err)
+			continue
+		}
+		// Strip fenced code blocks: example links inside ``` fences are
+		// illustrative, not navigable.
+		var kept []string
+		inFence := false
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if !inFence {
+				kept = append(kept, line)
+			}
+		}
+		text := strings.Join(kept, "\n")
+
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			file, anchor, _ := strings.Cut(target, "#")
+			// Resolve relative to the containing file, like a renderer.
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(path), filepath.FromSlash(file))
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: link target %q does not exist", doc, target)
+					continue
+				}
+			}
+			if anchor == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				continue // anchors only checked in markdown targets
+			}
+			if !anchorsOf(t, resolved)[anchor] {
+				t.Errorf("%s: link %q: no heading in %s slugifies to %q",
+					doc, target, filepath.Base(resolved), anchor)
+			}
+		}
+	}
+}

@@ -189,6 +189,41 @@ func Default() Profile {
 	}
 }
 
+// Capacities are the peak rates and sizes of the platform's contended
+// resources, in the units the bottleneck analyzer normalizes achieved
+// throughput and occupancy against. They are derived from the calibrated
+// profile, not stated independently, so recalibrating the profile moves
+// the analyzer's denominators with it.
+type Capacities struct {
+	// HostToLANaiBytesPerSec is the host-memory -> SRAM DMA engine peak
+	// (PCI master reads; the send-side host bus crossing).
+	HostToLANaiBytesPerSec float64
+	// LANaiToHostBytesPerSec is the SRAM -> host-memory DMA engine peak
+	// (PCI master writes; the receive-side deposit path).
+	LANaiToHostBytesPerSec float64
+	// NetSendBytesPerSec / NetRecvBytesPerSec are the SRAM <-> link
+	// engines; both run at wire speed on the real board.
+	NetSendBytesPerSec float64
+	NetRecvBytesPerSec float64
+	// LinkBytesPerSec is the Myrinet wire rate per direction.
+	LinkBytesPerSec float64
+	// SRAMBytes is the LANai board memory the allocator carves up.
+	SRAMBytes int
+}
+
+// Capacities derives the analyzer's normalization constants from the
+// profile.
+func (p Profile) Capacities() Capacities {
+	return Capacities{
+		HostToLANaiBytesPerSec: p.HostToLANai.Rate,
+		LANaiToHostBytesPerSec: p.LANaiToHost.Rate,
+		NetSendBytesPerSec:     p.NetSend.Rate,
+		NetRecvBytesPerSec:     p.NetRecv.Rate,
+		LinkBytesPerSec:        p.LinkRate,
+		SRAMBytes:              p.SRAMSize,
+	}
+}
+
 // SHRIMPProfile holds the comparison platform's constants (§6): the SHRIMP
 // network interface on the EISA bus with a hardware deliberate-update
 // state machine.

@@ -63,6 +63,7 @@ type ReliableLink struct {
 
 	windowFree *sim.Cond
 	sramOff    int
+	comp       string // trace component, "lanai<id>"
 
 	// onStall, when set, is consulted instead of declaring a destination
 	// unreachable; see SetStallHandler.
@@ -209,6 +210,7 @@ func (b *Board) EnableReliability(cfg ReliabilityConfig) (*ReliableLink, error) 
 		rxAckPending: make(map[int]*pendingAck),
 		windowFree:   sim.NewCond(b.Eng),
 		sramOff:      off,
+		comp:         comp,
 		mRetx:        b.Eng.Metrics().Counter(comp + "/rl_retransmits"),
 		mUnreachable: b.Eng.Metrics().Counter(comp + "/rl_unreachable"),
 	}
@@ -218,6 +220,18 @@ func (b *Board) EnableReliability(cfg ReliabilityConfig) (*ReliableLink, error) 
 
 // Reliable returns the board's link layer, nil when disabled.
 func (b *Board) Reliable() *ReliableLink { return b.reliable }
+
+// emitWindowOccupancy samples one transmit window's credit occupancy
+// (unacked packets over the window limit, 0..1) into the trace. The
+// bottleneck analyzer folds these samples into its occupancy tracks; a
+// window pinned near 1.0 means senders are credit-stalled.
+func (rl *ReliableLink) emitWindowOccupancy(st *txState) {
+	if !rl.board.Eng.Trace().Enabled() {
+		return
+	}
+	rl.board.Eng.TraceCounter(rl.comp, "rl", "window_occupancy",
+		float64(len(st.unacked))/float64(rl.cfg.Window))
+}
 
 // wrapLink frames a link-layer packet: data packets carry the sender NIC
 // (for per-sender receive sequencing) and the sender's window key (echoed
@@ -262,6 +276,7 @@ func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) error {
 		payload: append([]byte(nil), payload...),
 		sentAt:  p.Now(),
 	})
+	rl.emitWindowOccupancy(st)
 	rl.armTimer(st)
 	rl.PayloadBytes += int64(len(payload))
 	if st.suspended {
@@ -387,6 +402,7 @@ func (rl *ReliableLink) declareUnreachable(st *txState) {
 	st.dead = true
 	st.suspended = false
 	st.unacked = nil
+	rl.emitWindowOccupancy(st)
 	if st.timer != nil {
 		st.timer.Cancel()
 		st.timer = nil
@@ -429,6 +445,7 @@ func (rl *ReliableLink) handleAck(winKey int, ackSeq uint32) {
 		}
 	}
 	if trimmed {
+		rl.emitWindowOccupancy(st)
 		st.retries = 0
 		if st.timer != nil {
 			st.timer.Cancel()

@@ -46,6 +46,7 @@ func (r *Resource) Acquire(p *Proc) {
 		panic(fmt.Sprintf("sim: %s re-acquired by holder %s", r.name, p.Name()))
 	}
 	r.queue = append(r.queue, p)
+	r.eng.TraceBegin(r.name, "res", "wait")
 	p.park(r.parkLabel)
 }
 
@@ -66,6 +67,7 @@ func (r *Resource) grant(p *Proc) {
 	if r.util != nil {
 		r.util.BusyAt(int64(r.busySince))
 	}
+	r.eng.TraceBegin(r.name, "res", "held")
 }
 
 // Release frees the resource and hands it to the next live queued process,
@@ -81,6 +83,7 @@ func (r *Resource) Release(p *Proc) {
 	if r.util != nil {
 		r.util.IdleAt(int64(r.eng.Now()))
 	}
+	r.eng.TraceEnd(r.name, "res", "held")
 	for r.qhead < len(r.queue) {
 		next := r.queue[r.qhead]
 		r.queue[r.qhead] = nil
@@ -90,8 +93,13 @@ func (r *Resource) Release(p *Proc) {
 			r.qhead = 0
 		}
 		if !r.eng.alive(next) || next.killed {
+			// The dead waiter's wait span still ends here: emitting the
+			// End keeps begin/end pairs matched in FIFO order for
+			// streaming consumers.
+			r.eng.TraceEnd(r.name, "res", "wait")
 			continue
 		}
+		r.eng.TraceEnd(r.name, "res", "wait")
 		r.grant(next)
 		r.eng.postWake(0, next)
 		return

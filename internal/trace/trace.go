@@ -54,16 +54,30 @@ type Event struct {
 	Value float64
 }
 
-// Collector accumulates events in a fixed-capacity ring buffer. The zero
-// value is a valid, disabled collector; Enable arms it. When the ring
-// fills, the oldest events are overwritten and counted as dropped — the
-// tail of a run is usually the interesting part.
+// Sink consumes trace events as they are emitted, in virtual-time order.
+// Subscribing a sink turns emission on even when the ring buffer is not
+// armed, so streaming consumers (the bottleneck analyzer) see every event
+// without paying the ring's memory. Consume runs synchronously on the
+// emitting goroutine; implementations must not call back into the
+// collector.
+type Sink interface {
+	Consume(ev Event)
+}
+
+// Collector accumulates events in a fixed-capacity ring buffer and fans
+// them out to subscribed streaming sinks. The zero value is a valid,
+// disabled collector; Enable arms the ring, Subscribe attaches a sink —
+// either is enough to make Emit record. When the ring fills, the oldest
+// events are overwritten and counted as dropped — the tail of a run is
+// usually the interesting part. Sinks see every event regardless of ring
+// wraparound.
 type Collector struct {
 	enabled bool
 	buf     []Event
 	head    int // index of the oldest event
 	n       int // live events in buf
 	dropped int64
+	sinks   []Sink
 }
 
 // DefaultCapacity is the ring size Enable uses when given a non-positive
@@ -74,9 +88,10 @@ const DefaultCapacity = 1 << 20
 // NewCollector returns a disabled collector; call Enable to arm it.
 func NewCollector() *Collector { return &Collector{} }
 
-// Enabled reports whether Emit records events. Instrumentation sites with
+// Enabled reports whether Emit records events — true when the ring is
+// armed or at least one sink is subscribed. Instrumentation sites with
 // nontrivial argument construction should check this first.
-func (c *Collector) Enabled() bool { return c.enabled }
+func (c *Collector) Enabled() bool { return c.enabled || len(c.sinks) > 0 }
 
 // Enable arms the collector with a ring of the given capacity (events).
 // Non-positive capacity selects DefaultCapacity. Enabling an armed
@@ -90,15 +105,39 @@ func (c *Collector) Enable(capacity int) {
 	c.enabled = true
 }
 
-// Disable stops recording and releases the ring.
+// Disable stops ring recording and releases the ring. Subscribed sinks
+// keep streaming.
 func (c *Collector) Disable() {
 	c.enabled = false
 	c.buf = nil
 	c.head, c.n = 0, 0
 }
 
-// Emit records ev. It is a no-op on a disabled collector.
+// Subscribe attaches a streaming sink. Every event emitted from now on is
+// forwarded to it, in emission order, before being buffered in the ring.
+func (c *Collector) Subscribe(s Sink) {
+	if s == nil {
+		return
+	}
+	c.sinks = append(c.sinks, s)
+}
+
+// Unsubscribe detaches a previously subscribed sink. Detaching a sink
+// that was never subscribed is a no-op.
+func (c *Collector) Unsubscribe(s Sink) {
+	for i, have := range c.sinks {
+		if have == s {
+			c.sinks = append(c.sinks[:i], c.sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Emit records ev. It is a no-op on a disabled collector with no sinks.
 func (c *Collector) Emit(ev Event) {
+	for _, s := range c.sinks {
+		s.Consume(ev)
+	}
 	if !c.enabled {
 		return
 	}
