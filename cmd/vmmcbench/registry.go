@@ -20,6 +20,8 @@ var (
 	healOut     = flag.String("heal-out", "", "healsweep: write the BENCH_heal.json artifact here")
 	collNodes   = flag.String("coll-nodes", "", "collsweep communicator sizes, comma-separated (default 4,8,16)")
 	collOut     = flag.String("coll-out", "", "collsweep: write the BENCH_coll.json artifact here")
+	tenantCalls = flag.String("tenant-calls", "", "tenantsweep victim vRPC calls per cell (default 32)")
+	tenantOut   = flag.String("tenant-out", "", "tenantsweep: write the BENCH_tenant.json artifact here")
 )
 
 // experiment is one registry entry. Deterministic experiments print only
@@ -66,6 +68,8 @@ var experiments = []experiment{
 		runHealSweep},
 	{"collsweep", "collectives: all-reduce tree vs ring crossover, heal interop", true,
 		runCollSweep},
+	{"tenantsweep", "multi-tenancy: victim vRPC latency vs bulk neighbor, QoS off/on, crash", true,
+		runTenantSweep},
 }
 
 // tableExp adapts a table-producing benchmark to a registry run func.
@@ -150,6 +154,23 @@ func runCollSweep(w io.Writer) error {
 		return err
 	}
 	t, err := bench.CollSweep(bench.CollConfig{Nodes: nodes, Out: *collOut})
+	if err != nil {
+		return err
+	}
+	writeTable(w, t)
+	return nil
+}
+
+func runTenantSweep(w io.Writer) error {
+	calls := 0
+	if *tenantCalls != "" {
+		vals, err := parseIntList(*tenantCalls, "-tenant-calls", 2)
+		if err != nil || len(vals) != 1 {
+			return fmt.Errorf("bad -tenant-calls %q", *tenantCalls)
+		}
+		calls = vals[0]
+	}
+	t, err := bench.TenantSweep(bench.TenantConfig{Calls: calls, Out: *tenantOut})
 	if err != nil {
 		return err
 	}

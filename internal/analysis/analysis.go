@@ -85,6 +85,15 @@ type Analyzer struct {
 	occs    map[string]*occState
 	phases  []phaseMark
 	buckets bucketSet
+	tenants map[string]*tenantState
+}
+
+// tenantState accumulates one tenant's attribution: lifecycle instant
+// counts and the last sample of each usage counter, both category
+// "tenant" on a "tenant/<name>" component (emitted by internal/tenant).
+type tenantState struct {
+	events   map[string]int64
+	counters map[string]float64
 }
 
 type phaseMark struct {
@@ -217,12 +226,32 @@ func (a *Analyzer) Consume(ev trace.Event) {
 			if ev.Name == "window_occupancy" {
 				a.occ(ev.Component, "rl").sample(ev.T, ev.Value)
 			}
+		case "tenant":
+			a.tenant(ev.Component).counters[ev.Name] = ev.Value
 		}
 	case trace.PhaseInstant:
-		if ev.Category == "phase" {
+		switch ev.Category {
+		case "phase":
 			a.beginPhase(ev.Name, ev.T)
+		case "tenant":
+			a.tenant(ev.Component).events[ev.Name]++
 		}
 	}
+}
+
+// tenant returns the attribution bucket for a "tenant/<name>" component,
+// keyed by the bare tenant name.
+func (a *Analyzer) tenant(comp string) *tenantState {
+	name := strings.TrimPrefix(comp, "tenant/")
+	if a.tenants == nil {
+		a.tenants = make(map[string]*tenantState)
+	}
+	ts, ok := a.tenants[name]
+	if !ok {
+		ts = &tenantState{events: make(map[string]int64), counters: make(map[string]float64)}
+		a.tenants[name] = ts
+	}
+	return ts
 }
 
 // busySpan reports whether spans of this category count toward a
@@ -568,6 +597,34 @@ func (a *Analyzer) Finalize(now int64, snap trace.Snapshot) *Report {
 		os.MeanFrac = os.meanSum / float64(os.Instances)
 		rep.Occupancies = append(rep.Occupancies, *os)
 	}
+
+	tenantNames := make([]string, 0, len(a.tenants))
+	for name := range a.tenants {
+		tenantNames = append(tenantNames, name)
+	}
+	sort.Strings(tenantNames)
+	for _, name := range tenantNames {
+		ts := a.tenants[name]
+		st := TenantStat{Name: name}
+		evNames := make([]string, 0, len(ts.events))
+		for k := range ts.events {
+			evNames = append(evNames, k)
+		}
+		sort.Strings(evNames)
+		for _, k := range evNames {
+			st.Events = append(st.Events, TenantEvent{Name: k, Count: ts.events[k]})
+		}
+		ctrNames := make([]string, 0, len(ts.counters))
+		for k := range ts.counters {
+			ctrNames = append(ctrNames, k)
+		}
+		sort.Strings(ctrNames)
+		for _, k := range ctrNames {
+			st.Counters = append(st.Counters, TenantCounter{Name: k, Value: ts.counters[k]})
+		}
+		rep.Tenants = append(rep.Tenants, st)
+	}
+
 	rep.Verdict = rep.verdict()
 	return rep
 }

@@ -29,8 +29,33 @@ type Report struct {
 	// Occupancies holds the capacity-occupancy tracks (SRAM, window
 	// credits), sorted by class.
 	Occupancies []OccupancyStat
+	// Tenants holds per-tenant attribution (lifecycle events and usage
+	// counters), sorted by name. Empty — and absent from the JSON — for
+	// runs without a tenant manager.
+	Tenants []TenantStat
 	// Verdict is the one-paragraph textual conclusion.
 	Verdict string
+}
+
+// TenantStat is one tenant's attribution: how its lifecycle unfolded and
+// the last sample of each usage counter it published.
+type TenantStat struct {
+	Name     string
+	Events   []TenantEvent
+	Counters []TenantCounter
+}
+
+// TenantEvent counts one lifecycle instant ("admitted", "killed", ...).
+type TenantEvent struct {
+	Name  string
+	Count int64
+}
+
+// TenantCounter is the final sample of one usage counter
+// ("pinned_frames", "link_throttled_ns", ...).
+type TenantCounter struct {
+	Name  string
+	Value float64
 }
 
 // PhaseSpan is one experiment phase over [StartNS, EndNS).
@@ -220,6 +245,41 @@ func (r *Report) WriteJSON(w io.Writer, indent string) error {
 		bw.WriteByte('\n')
 		p(2, "{\"class\": %s, \"label\": %s, \"instances\": %d, \"mean_frac\": %s, \"peak_frac\": %s, \"busiest\": %s}",
 			jstr(o.Class), jstr(o.Label), o.Instances, jnum(o.MeanFrac), jnum(o.PeakFrac), jstr(o.Busiest))
+	}
+	bw.WriteByte('\n')
+	// The tenants section only exists for runs that had a tenant manager,
+	// so single-tenant reports stay byte-identical to before it existed.
+	if len(r.Tenants) == 0 {
+		p(1, "]\n")
+		p(0, "}")
+		return bw.Flush()
+	}
+	p(1, "],\n")
+	p(1, "\"tenants\": [")
+	for i, t := range r.Tenants {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteByte('\n')
+		p(2, "{\n")
+		p(3, "\"name\": %s,\n", jstr(t.Name))
+		p(3, "\"events\": {")
+		for j, e := range t.Events {
+			if j > 0 {
+				bw.WriteString(", ")
+			}
+			fmt.Fprintf(bw, "%s: %d", jstr(e.Name), e.Count)
+		}
+		bw.WriteString("},\n")
+		p(3, "\"counters\": {")
+		for j, c := range t.Counters {
+			if j > 0 {
+				bw.WriteString(", ")
+			}
+			fmt.Fprintf(bw, "%s: %s", jstr(c.Name), jnum(c.Value))
+		}
+		bw.WriteString("}\n")
+		p(2, "}")
 	}
 	bw.WriteByte('\n')
 	p(1, "]\n")

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTenantSweepSmall runs the noisy-neighbor experiment with a short
+// call count. Every cell double-runs inside TenantSweep and fails on
+// drift; on top of that the whole sweep runs twice here and the
+// BENCH_tenant.json artifacts must be byte-identical — the bar the CI
+// smoke job re-checks. The sweep itself enforces the isolation
+// acceptance properties (QoS bounds the victim's p99; the crash cell
+// finishes with zero victim errors), so a passing run is the robustness
+// verdict, not just a timing table.
+func TestTenantSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	cfg := TenantConfig{
+		Calls: 16,
+		Out:   filepath.Join(dir, "BENCH_tenant.json"),
+	}
+	tbl, err := TenantSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // solo, qos=off, qos=on, crash
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	data, err := os.ReadFile(cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"benchmark": "vmmc-tenantsweep"`, `"case": "solo"`,
+		`"case": "shared qos=off"`, `"case": "shared qos=on"`,
+		`"case": "crash qos=on"`, `"victim_errors": 0`,
+		`"verdict"`, `"tenants"`, `"name": "bulk"`, `"name": "victim"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("artifact missing %s", key)
+		}
+	}
+
+	cfg.Out = filepath.Join(dir, "BENCH_tenant2.json")
+	if _, err := TenantSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("BENCH_tenant.json not byte-identical across sweeps")
+	}
+}

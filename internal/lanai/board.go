@@ -38,6 +38,9 @@ type Board struct {
 	// nil (the paper's configuration) means CRC errors are detected but
 	// never recovered (§4.2).
 	reliable *ReliableLink
+	// linksched is the optional per-class link bandwidth pacer
+	// (linksched.go); nil until ConfigureLinkClass installs a budget.
+	linksched *LinkScheduler
 	// onUnreachable fires when the reliability layer exhausts a
 	// destination's retransmit budget; the route identifies the peer.
 	onUnreachable func(route []byte)
@@ -162,8 +165,21 @@ func PhysLast(pa mem.PhysAddr, n int) mem.PhysAddr {
 // budget is exhausted. Without the layer, sends never fail: the paper's
 // configuration fires and forgets (§4.2).
 func (b *Board) SendPacket(p *sim.Proc, route []byte, payload []byte) error {
+	return b.SendPacketClass(p, route, payload, 0)
+}
+
+// SendPacketClass is SendPacket within a traffic class: the class's link
+// bandwidth budget (if configured) paces the injection, and with the
+// reliability layer enabled the packet rides the class's own transmit
+// window, so a class teardown cannot disturb other classes' sequence
+// state. Class 0 is the default shared class — SendPacket delegates
+// here with it — and is never paced or torn down by class.
+func (b *Board) SendPacketClass(p *sim.Proc, route []byte, payload []byte, class int) error {
+	if b.linksched != nil {
+		b.linksched.charge(p, class, len(payload))
+	}
 	if b.reliable != nil {
-		return b.reliable.send(p, route, payload)
+		return b.reliable.send(p, route, payload, class)
 	}
 	b.NetSend.TransferWith(p, 0, b.Prof.NetSend) // engine start only
 	b.NIC.Send(p, route, payload)

@@ -1,0 +1,119 @@
+package lanai
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Per-class link bandwidth scheduling. The paper's NIC injects packets
+// strictly in posting order, so one process's bulk transfer can occupy
+// the outgoing link for milliseconds while a latency-sensitive peer's
+// packets queue behind it. The scheduler bounds that interference with a
+// deterministic token bucket per traffic class: each class owns a
+// credit of burst bytes that refills at a configured rate, and a send
+// that overdraws its class sleeps exactly the refill time of the
+// deficit before injecting. Unconfigured classes — including class 0,
+// the single-tenant default — are never throttled, so the scheduler is
+// invisible until a tenant manager opts a class in.
+//
+// The implementation is a virtual-time pacer rather than a literal
+// token count: nextAt is the instant the class's credit is fully
+// drained, clamped to lag the present by at most the burst duration.
+// Charging n bytes advances nextAt by n at the class rate; any excess
+// over the present is the sleep. Because all state updates happen
+// atomically at charge time under the single-threaded event engine, the
+// pacer is exactly deterministic under concurrent senders.
+type LinkScheduler struct {
+	eng     *sim.Engine
+	comp    string
+	classes map[int]*linkClass
+
+	// Throttles counts sends the scheduler delayed; ThrottledTime is the
+	// total virtual time those sends slept.
+	Throttles     int64
+	ThrottledTime sim.Time
+
+	mThrottleNS *trace.Counter
+}
+
+// linkClass is one class's pacing state.
+type linkClass struct {
+	bytesPerSec float64
+	// burst is the credit depth expressed as time at the class rate:
+	// nextAt may lag the present by at most this much, so an idle class
+	// accumulates exactly burstBytes of instant sendability.
+	burst  sim.Time
+	nextAt sim.Time
+
+	// Per-class attribution, so a tenant manager can report which class
+	// the pacer actually held back and for how long.
+	throttles   int64
+	throttledNS sim.Time
+}
+
+// ClassStats reports how often and how long sends in the given class were
+// delayed by the pacer. Unknown classes report zeros.
+func (ls *LinkScheduler) ClassStats(class int) (throttles int64, throttledNS sim.Time) {
+	if lc := ls.classes[class]; lc != nil {
+		return lc.throttles, lc.throttledNS
+	}
+	return 0, 0
+}
+
+// ConfigureLinkClass installs (or updates) a bandwidth budget for one
+// traffic class on this board's outgoing link: sends in the class are
+// paced to bytesPerSec with an instant-burst allowance of burstBytes.
+// A rate <= 0 removes the class's budget, returning it to unlimited.
+func (b *Board) ConfigureLinkClass(class int, bytesPerSec float64, burstBytes int) {
+	if b.linksched == nil {
+		comp := fmt.Sprintf("lanai%d", b.NIC.ID)
+		b.linksched = &LinkScheduler{
+			eng:         b.Eng,
+			comp:        comp,
+			classes:     make(map[int]*linkClass),
+			mThrottleNS: b.Eng.Metrics().Counter(comp + "/qos_throttled_ns"),
+		}
+	}
+	if bytesPerSec <= 0 {
+		delete(b.linksched.classes, class)
+		return
+	}
+	burst := sim.Time(float64(burstBytes) / bytesPerSec * float64(sim.Second))
+	b.linksched.classes[class] = &linkClass{
+		bytesPerSec: bytesPerSec,
+		burst:       burst,
+		nextAt:      b.Eng.Now() - burst, // start with a full credit
+	}
+}
+
+// LinkScheduler returns the board's per-class pacer, nil until a class
+// is configured.
+func (b *Board) LinkScheduler() *LinkScheduler { return b.linksched }
+
+// charge paces one n-byte injection in the given class, sleeping the
+// calling process for the class's refill deficit. Classes without a
+// configured budget pass through untouched.
+func (ls *LinkScheduler) charge(p *sim.Proc, class, n int) {
+	lc := ls.classes[class]
+	if lc == nil || n <= 0 {
+		return
+	}
+	now := p.Now()
+	if floor := now - lc.burst; lc.nextAt < floor {
+		lc.nextAt = floor
+	}
+	lc.nextAt += sim.Time(float64(n) / lc.bytesPerSec * float64(sim.Second))
+	if wait := lc.nextAt - now; wait > 0 {
+		ls.Throttles++
+		ls.ThrottledTime += wait
+		lc.throttles++
+		lc.throttledNS += wait
+		ls.mThrottleNS.Add(int64(wait))
+		if ls.eng.Trace().Enabled() {
+			ls.eng.TraceCounter(ls.comp, "qos", "qos_throttle_ns", float64(wait))
+		}
+		p.Sleep(wait)
+	}
+}

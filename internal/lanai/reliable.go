@@ -1,9 +1,11 @@
 package lanai
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/myrinet"
 	"repro/internal/sim"
@@ -48,18 +50,27 @@ type ReliableLink struct {
 	board *Board
 	cfg   ReliabilityConfig
 
-	// tx holds the per-destination transmit windows, keyed by a stable
-	// window key: the route-hash of the route the conversation started
-	// on. The key rides in every data packet and is echoed in acks, so a
+	// tx holds the per-(destination, traffic-class) transmit windows,
+	// keyed by a stable window key: the route-hash of the route the
+	// conversation started on, folded with the traffic class (classes
+	// give tenants independent windows toward the same peer, so dropping
+	// one tenant's windows cannot disturb another's sequence state). The
+	// key rides in every data packet and is echoed in acks, so a
 	// heal-driven route swap never strands an in-flight ack.
 	tx map[int]*txState
-	// routeKey aliases the hash of a window's *current* route to its
-	// stable key; SwapRoute rewrites the alias, not the window.
+	// routeKey aliases the class-folded hash of a window's *current*
+	// route to its stable key; SwapRoute rewrites the alias, not the
+	// window.
 	routeKey map[int]int
-	// Per source NIC id: next expected sequence.
-	rxExpected map[int]uint32
-	// Per source NIC id: armed delayed-ack state (AckDelay > 0 only).
-	rxAckPending map[int]*pendingAck
+	// Per (source NIC id, window key): next expected sequence. Keying by
+	// window as well as sender keeps the per-class sequence streams of
+	// one sender independent; for single-class traffic the window key is
+	// stable per sender, so this degenerates to the per-sender sequencing
+	// the layer started with.
+	rxExpected map[rxKey]uint32
+	// Per (source NIC id, window key): armed delayed-ack state
+	// (AckDelay > 0 only).
+	rxAckPending map[rxKey]*pendingAck
 
 	windowFree *sim.Cond
 	sramOff    int
@@ -139,11 +150,19 @@ type pendingAck struct {
 	winKey uint32
 }
 
+// rxKey identifies one receive-side sequence stream: one sender NIC's
+// conversation through one transmit window.
+type rxKey struct {
+	sender int
+	win    uint32
+}
+
 type txState struct {
 	// key is the stable window key (see ReliableLink.tx); route is the
 	// current route, which a heal may swap while the window lives.
 	key     int
 	route   []byte
+	class   int // traffic class the window belongs to (0 = default)
 	nextSeq uint32
 	// unacked[0] is the oldest in-flight packet.
 	unacked []bufferedPacket
@@ -206,8 +225,8 @@ func (b *Board) EnableReliability(cfg ReliabilityConfig) (*ReliableLink, error) 
 		cfg:          cfg,
 		tx:           make(map[int]*txState),
 		routeKey:     make(map[int]int),
-		rxExpected:   make(map[int]uint32),
-		rxAckPending: make(map[int]*pendingAck),
+		rxExpected:   make(map[rxKey]uint32),
+		rxAckPending: make(map[rxKey]*pendingAck),
 		windowFree:   sim.NewCond(b.Eng),
 		sramOff:      off,
 		comp:         comp,
@@ -247,14 +266,15 @@ func wrapLink(typ byte, sender int, seq uint32, winKey uint32, payload []byte) [
 	return out
 }
 
-// send transmits payload reliably along route to the destination NIC.
-// It blocks while the window is full and fails with ErrPeerUnreachable
-// when the destination's retransmit budget is exhausted while waiting.
-func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) error {
-	st, ok := rl.stateFor(route)
+// send transmits payload reliably along route to the destination NIC,
+// inside the transmit window of the given traffic class. It blocks while
+// the window is full and fails with ErrPeerUnreachable when the
+// destination's retransmit budget is exhausted while waiting.
+func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte, class int) error {
+	st, ok := rl.stateFor(route, class)
 	if !ok {
-		key := rl.destOf(route)
-		st = &txState{key: key, route: append([]byte(nil), route...)}
+		key := classKey(rl.destOf(route), class)
+		st = &txState{key: key, route: append([]byte(nil), route...), class: class}
 		rl.tx[key] = st
 		rl.routeKey[key] = key
 	}
@@ -290,14 +310,48 @@ func (rl *ReliableLink) send(p *sim.Proc, route []byte, payload []byte) error {
 	return nil
 }
 
-// stateFor resolves the transmit window a route currently maps to.
-func (rl *ReliableLink) stateFor(route []byte) (*txState, bool) {
-	key, ok := rl.routeKey[rl.destOf(route)]
+// stateFor resolves the transmit window a (route, class) pair currently
+// maps to.
+func (rl *ReliableLink) stateFor(route []byte, class int) (*txState, bool) {
+	key, ok := rl.routeKey[classKey(rl.destOf(route), class)]
 	if !ok {
 		return nil, false
 	}
 	st, ok := rl.tx[key]
 	return st, ok
+}
+
+// statesFor collects every class's window currently routed via route, in
+// deterministic (key-sorted) order. Route-level operations — heals,
+// peer resets — apply to all of them: the classes share the physical
+// path even though their sequence streams are independent.
+func (rl *ReliableLink) statesFor(route []byte) []*txState {
+	var sts []*txState
+	for _, st := range rl.tx {
+		if bytes.Equal(st.route, route) {
+			sts = append(sts, st)
+		}
+	}
+	sort.Slice(sts, func(i, j int) bool { return sts[i].key < sts[j].key })
+	return sts
+}
+
+// classKey folds a traffic class into a route-hash window key. Class 0
+// (the default, and the only class single-tenant configurations ever
+// use) maps to the bare route hash, keeping its wire-visible window keys
+// identical to the pre-class protocol. Nonzero classes are mixed through
+// an avalanche so distinct (destination, class) pairs land on distinct
+// keys; a collision would merely merge two windows, which stays correct
+// for delivery (and is vanishingly unlikely to cross classes).
+func classKey(h, class int) int {
+	if class == 0 {
+		return h
+	}
+	x := uint32(h) ^ (uint32(class)*0x9e3779b9 + 0x7f4a7c15)
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	return int(x)
 }
 
 // destOf resolves the destination NIC of a route for window bookkeeping.
@@ -489,19 +543,67 @@ func (rl *ReliableLink) Reset() {
 		delete(rl.tx, key)
 	}
 	rl.routeKey = make(map[int]int)
-	rl.rxExpected = make(map[int]uint32)
-	for sender := range rl.rxAckPending {
-		rl.cancelDelayedAck(sender)
+	rl.rxExpected = make(map[rxKey]uint32)
+	for k := range rl.rxAckPending {
+		rl.cancelDelayedAck(k)
 	}
 	rl.windowFree.Broadcast()
 }
 
-// ResetPeer forgets the conversation with one peer: the transmit window
-// toward route and the receive sequencing from NIC nic. Surviving nodes
-// call this when a peer restarts, so its fresh sequence numbers are
-// accepted (the restart announcement of a real implementation).
+// ResetPeer forgets the conversation with one peer: every class's
+// transmit window toward route and all receive sequencing from NIC nic.
+// Surviving nodes call this when a peer restarts, so its fresh sequence
+// numbers are accepted (the restart announcement of a real
+// implementation).
 func (rl *ReliableLink) ResetPeer(route []byte, nic int) {
-	if st, ok := rl.stateFor(route); ok {
+	if sts := rl.statesFor(route); len(sts) > 0 {
+		for _, st := range sts {
+			st.dead = true
+			st.suspended = false
+			st.unacked = nil
+			if st.timer != nil {
+				st.timer.Cancel()
+				st.timer = nil
+			}
+			rl.dropState(st)
+		}
+		rl.windowFree.Broadcast()
+	}
+	for k := range rl.rxExpected {
+		if k.sender == nic {
+			delete(rl.rxExpected, k)
+		}
+	}
+	for k := range rl.rxAckPending {
+		if k.sender == nic {
+			rl.cancelDelayedAck(k)
+		}
+	}
+}
+
+// DropClass silently tears down every transmit window of one traffic
+// class: timers cancel, buffered packets drop, parked senders wake to
+// fail with ErrPeerUnreachable. Unlike declareUnreachable this raises no
+// unreachable event and runs no stall handler — the class's owner is
+// gone by fiat (a killed tenant), not lost to the fabric, and nothing
+// should try to heal toward it. Class 0, the shared default, is never
+// dropped this way. Receive-side sequence entries for the dropped
+// windows are left behind; class ids are never reused, so they are inert.
+func (rl *ReliableLink) DropClass(class int) {
+	if class == 0 {
+		return
+	}
+	var doomed []*txState
+	for _, st := range rl.tx {
+		if st.class == class {
+			doomed = append(doomed, st)
+		}
+	}
+	if len(doomed) == 0 {
+		return
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].key < doomed[j].key })
+	for _, st := range doomed {
 		st.dead = true
 		st.suspended = false
 		st.unacked = nil
@@ -510,10 +612,9 @@ func (rl *ReliableLink) ResetPeer(route []byte, nic int) {
 			st.timer = nil
 		}
 		rl.dropState(st)
-		rl.windowFree.Broadcast()
 	}
-	delete(rl.rxExpected, nic)
-	rl.cancelDelayedAck(nic)
+	rl.board.Eng.TraceInstant(rl.comp, "rl", fmt.Sprintf("class_dropped:%d", class))
+	rl.windowFree.Broadcast()
 }
 
 // SetStallHandler registers the heal hook consulted when a destination's
@@ -524,45 +625,45 @@ func (rl *ReliableLink) ResetPeer(route []byte, nic int) {
 // and must not block; it receives a copy of the window's current route.
 func (rl *ReliableLink) SetStallHandler(fn func(route []byte) bool) { rl.onStall = fn }
 
-// SwapRoute re-routes the window currently reached via old onto a new
-// route without disturbing its sequence state: buffered packets retransmit
-// on the new path and in-flight acks still resolve, because the window key
-// carried in every data packet is stable across swaps. It reports whether
-// a window existed for old.
+// SwapRoute re-routes every class's window currently reached via old
+// onto a new route without disturbing their sequence state: buffered
+// packets retransmit on the new path and in-flight acks still resolve,
+// because the window key carried in every data packet is stable across
+// swaps. It reports whether any window existed for old.
 func (rl *ReliableLink) SwapRoute(old, new []byte) bool {
-	st, ok := rl.stateFor(old)
-	if !ok {
-		return false
+	sts := rl.statesFor(old)
+	for _, st := range sts {
+		delete(rl.routeKey, classKey(rl.destOf(st.route), st.class))
+		st.route = append([]byte(nil), new...)
+		rl.routeKey[classKey(rl.destOf(new), st.class)] = st.key
 	}
-	delete(rl.routeKey, rl.destOf(st.route))
-	st.route = append([]byte(nil), new...)
-	rl.routeKey[rl.destOf(new)] = st.key
-	return true
+	return len(sts) > 0
 }
 
-// Resume reactivates a suspended window after a heal: the retransmit
-// budget resets and the whole unacked window goes out immediately on the
-// current (possibly swapped) route. Windows that are not suspended are
-// left untouched.
+// Resume reactivates the suspended windows on a healed route: the
+// retransmit budget resets and each whole unacked window goes out
+// immediately on the current (possibly swapped) route. Windows that are
+// not suspended are left untouched.
 func (rl *ReliableLink) Resume(route []byte) {
-	st, ok := rl.stateFor(route)
-	if !ok || !st.suspended {
-		return
-	}
-	st.suspended = false
-	st.retries = 0
-	rl.board.Eng.TraceInstant(fmt.Sprintf("lanai%d", rl.board.NIC.ID), "rl", "window_resumed")
-	if len(st.unacked) > 0 {
-		rl.retransmit(st)
+	for _, st := range rl.statesFor(route) {
+		if !st.suspended {
+			continue
+		}
+		st.suspended = false
+		st.retries = 0
+		rl.board.Eng.TraceInstant(fmt.Sprintf("lanai%d", rl.board.NIC.ID), "rl", "window_resumed")
+		if len(st.unacked) > 0 {
+			rl.retransmit(st)
+		}
 	}
 }
 
-// Abandon gives up on a suspended window: the heal could not recover a
+// Abandon gives up on a route's windows: the heal could not recover a
 // route within its budget. Equivalent to the retransmit budget running out
 // with no stall handler — parked and future senders fail with
 // ErrPeerUnreachable.
 func (rl *ReliableLink) Abandon(route []byte) {
-	if st, ok := rl.stateFor(route); ok {
+	for _, st := range rl.statesFor(route) {
 		rl.declareUnreachable(st)
 	}
 }
@@ -589,33 +690,34 @@ func (rl *ReliableLink) receive(p *sim.Proc, pk *myrinet.Packet) []byte {
 		return nil
 	case linkData:
 		p.Sleep(rl.cfg.PerPacketCost)
-		expect := rl.rxExpected[sender]
+		k := rxKey{sender: sender, win: winKey}
+		expect := rl.rxExpected[k]
 		switch {
 		case seq == expect:
-			rl.rxExpected[sender] = expect + 1
+			rl.rxExpected[k] = expect + 1
 			rl.Deliveries++
 			// Cumulative ack every k packets; stragglers are recovered
 			// by the delayed ack when configured, otherwise by the
 			// sender's timeout + the duplicate re-ack below.
 			if (seq+1)%uint32(rl.cfg.AckEvery) == 0 {
-				rl.cancelDelayedAck(sender)
+				rl.cancelDelayedAck(k)
 				rl.sendAck(p, pk, winKey, seq+1)
 			} else if rl.cfg.AckDelay > 0 {
-				rl.armDelayedAck(sender, pk, winKey)
+				rl.armDelayedAck(k, pk)
 			}
 			return pk.Payload[linkHdrSize:]
 		case seq < expect:
 			// Duplicate from a retransmission race: re-ack so the
 			// sender's window advances.
 			rl.DupDrops++
-			rl.cancelDelayedAck(sender)
+			rl.cancelDelayedAck(k)
 			rl.sendAck(p, pk, winKey, expect)
 			return nil
 		default:
 			// Gap: an earlier packet was dropped (CRC); go-back-N
 			// discards successors and re-acks the expectation.
 			rl.GapDrops++
-			rl.cancelDelayedAck(sender)
+			rl.cancelDelayedAck(k)
 			rl.sendAck(p, pk, winKey, expect)
 			return nil
 		}
@@ -635,18 +737,18 @@ func (rl *ReliableLink) sendAckRoute(p *sim.Proc, route []byte, winKey, ackSeq u
 	rl.board.NIC.Send(p, route, wrapLink(linkAck, int(winKey), ackSeq, 0, nil))
 }
 
-// armDelayedAck schedules a cumulative ack toward sender unless one is
-// already pending (the existing timer's ack covers the new packet — the
-// ack sequence is read at fire time).
-func (rl *ReliableLink) armDelayedAck(sender int, pk *myrinet.Packet, winKey uint32) {
-	if rl.rxAckPending[sender] != nil {
+// armDelayedAck schedules a cumulative ack toward one sequence stream
+// unless one is already pending (the existing timer's ack covers the new
+// packet — the ack sequence is read at fire time).
+func (rl *ReliableLink) armDelayedAck(k rxKey, pk *myrinet.Packet) {
+	if rl.rxAckPending[k] != nil {
 		return
 	}
-	pa := &pendingAck{route: myrinet.ReverseRoute(pk.Ingress), winKey: winKey}
-	rl.rxAckPending[sender] = pa
+	pa := &pendingAck{route: myrinet.ReverseRoute(pk.Ingress), winKey: k.win}
+	rl.rxAckPending[k] = pa
 	pa.timer = rl.board.Eng.After(rl.cfg.AckDelay, func() {
-		delete(rl.rxAckPending, sender)
-		ackSeq := rl.rxExpected[sender]
+		delete(rl.rxAckPending, k)
+		ackSeq := rl.rxExpected[k]
 		rl.board.Eng.Go(fmt.Sprintf("lanai%d:dack", rl.board.NIC.ID), func(p *sim.Proc) {
 			rl.sendAckRoute(p, pa.route, pa.winKey, ackSeq)
 		})
@@ -654,10 +756,10 @@ func (rl *ReliableLink) armDelayedAck(sender int, pk *myrinet.Packet, winKey uin
 }
 
 // cancelDelayedAck withdraws a pending delayed ack; an immediate
-// cumulative ack toward the same sender supersedes it.
-func (rl *ReliableLink) cancelDelayedAck(sender int) {
-	if pa := rl.rxAckPending[sender]; pa != nil {
+// cumulative ack for the same sequence stream supersedes it.
+func (rl *ReliableLink) cancelDelayedAck(k rxKey) {
+	if pa := rl.rxAckPending[k]; pa != nil {
 		pa.timer.Cancel()
-		delete(rl.rxAckPending, sender)
+		delete(rl.rxAckPending, k)
 	}
 }

@@ -201,10 +201,41 @@ func (d *Daemon) unexportLocal(p *simProc, proc *Process, tag uint32) error {
 	for _, f := range info.frames {
 		d.node.LCP.incoming.clear(f)
 	}
-	d.node.Driver.unlock(info.frames)
+	d.node.Driver.unlock(proc.lcpState, info.frames)
 	delete(d.exports, tag)
 	delete(d.node.LCP.arrivedHW, tag)
 	return nil
+}
+
+// scrubProcess is the kill path's local-only teardown of a process's
+// daemon state: exports vanish (incoming page-table entries cleared,
+// frames unlocked) and imports release their proxy ranges — all without
+// any Ethernet traffic, because the owner died abruptly and the OS
+// reclaims silently. Remote importers of the scrubbed exports keep their
+// (now dangling) reference counts; a tenant kill scrubs every node's
+// side of the tenant, so those counters die with their owners. All
+// operations here are pure state updates — no events, no sleeps — so
+// map-iteration order cannot influence the simulation.
+func (d *Daemon) scrubProcess(proc *Process) {
+	for tag, info := range d.exports {
+		if info.pid != proc.Pid {
+			continue
+		}
+		for _, f := range info.frames {
+			d.node.LCP.incoming.clear(f)
+		}
+		d.node.Driver.unlock(proc.lcpState, info.frames)
+		delete(d.exports, tag)
+		delete(d.node.LCP.arrivedHW, tag)
+		if rd, ok := d.node.LCP.redirects[tag]; ok && rd.pid == proc.Pid {
+			d.node.Driver.unlock(proc.lcpState, rd.frames)
+			delete(d.node.LCP.redirects, tag)
+		}
+	}
+	for base, rec := range proc.imports {
+		proc.lcpState.outPT.freeRange(rec.basePage, rec.pages)
+		delete(proc.imports, base)
+	}
 }
 
 // importRemote resolves an import against the exporting node's daemon: it

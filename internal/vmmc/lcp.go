@@ -37,6 +37,13 @@ type LCP struct {
 
 	curJob *sendJob
 
+	// preemptShort, when enabled (tenant QoS), lets the LCP serve other
+	// processes' pending *short* sends between the chunks of a long send
+	// instead of monopolizing the control program for the whole transfer.
+	// Per-process FIFO order is preserved — only queue heads are taken —
+	// but cross-process order may interleave, which is the point.
+	preemptShort bool
+
 	// Transfer redirection (redirect.go): active redirections by export
 	// tag, and the per-export arrival high-water mark used to size the
 	// early-arrival copy of a late posting.
@@ -113,6 +120,7 @@ type LCPStats struct {
 	TightLoopIterations     int64
 	MainLoopIterations      int64
 	SendsShort, SendsLong   int64
+	ShortPreempts           int64
 	NotificationsRequested  int64
 	CompletionsWithError    int64
 	QueueScansTotalDistance int64
@@ -134,6 +142,34 @@ type lcpProcState struct {
 	outPT    *OutgoingTable
 	tlb      *TLB
 	statusPA mem.PhysAddr
+
+	// limits are the process's admission-time resource partitions; the
+	// zero value means the legacy first-come-first-served defaults.
+	limits ProcLimits
+	// pins counts host frames currently locked on the process's behalf
+	// (TLB entries and export locks), charged against limits.PinBudget.
+	pins int
+	// gone marks a process killed mid-flight: its status page is
+	// unpinned and its SRAM state is about to vanish, so completion
+	// writes and staged work for it must be dropped, not delivered.
+	gone bool
+}
+
+// chargePin debits k frames against the process's pin budget.
+func (st *lcpProcState) chargePin(k int) error {
+	if st.limits.PinBudget > 0 && st.pins+k > st.limits.PinBudget {
+		return ErrPinBudget
+	}
+	st.pins += k
+	return nil
+}
+
+// releasePin returns k frames to the process's pin budget.
+func (st *lcpProcState) releasePin(k int) {
+	st.pins -= k
+	if st.pins < 0 {
+		st.pins = 0
+	}
 }
 
 // lcpCodeBytes reserves SRAM for the control program text, static data and
@@ -148,6 +184,7 @@ const (
 	ceNoRoute
 	ceBadSource
 	ceUnreachable
+	cePinBudget
 )
 
 func completionError(code uint32) error {
@@ -164,6 +201,8 @@ func completionError(code uint32) error {
 		return ErrBadBuffer
 	case ceUnreachable:
 		return ErrNodeUnreachable
+	case cePinBudget:
+		return ErrPinBudget
 	default:
 		return fmt.Errorf("vmmc: unknown completion error %d", code)
 	}
@@ -247,10 +286,13 @@ func (l *LCP) teardown() {
 // Stats returns a copy of the LCP's counters.
 func (l *LCP) Stats() LCPStats { return l.stats }
 
-// registerProcess carves the per-process SRAM state out of the board.
-func (l *LCP) registerProcess(pid int) (*lcpProcState, error) {
+// registerProcess carves the per-process SRAM state out of the board,
+// sized by the process's resource partition (zero-value limits give the
+// legacy defaults). Every allocation rolls back on failure so a rejected
+// registration leaks nothing.
+func (l *LCP) registerProcess(pid int, limits ProcLimits) (*lcpProcState, error) {
 	sram := l.node.Board.SRAM
-	sq, err := newSendQueue(sram, pid)
+	sq, err := newSendQueue(sram, pid, limits.SendQueueEntries)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrProcessLimit, err)
 	}
@@ -259,13 +301,13 @@ func (l *LCP) registerProcess(pid int) (*lcpProcState, error) {
 		sram.Free(sq.sramOff)
 		return nil, fmt.Errorf("%w: %v", ErrProcessLimit, err)
 	}
-	tlb, err := newTLB(sram, pid)
+	tlb, err := newTLB(sram, pid, limits.TLBEntries)
 	if err != nil {
 		sram.Free(sq.sramOff)
 		sram.Free(outPT.sramOff)
 		return nil, fmt.Errorf("%w: %v", ErrProcessLimit, err)
 	}
-	st := &lcpProcState{pid: pid, sq: sq, outPT: outPT, tlb: tlb}
+	st := &lcpProcState{pid: pid, sq: sq, outPT: outPT, tlb: tlb, limits: limits}
 	l.states[pid] = st
 	l.scan = append(l.scan, pid)
 	return st, nil
@@ -334,6 +376,9 @@ func (l *LCP) hasWork() bool {
 		if !j.dmaBusy && !j.tlbWait && j.nextOff < j.total {
 			return true
 		}
+		if l.preemptShort && l.pendingShortOther(j.st) {
+			return true
+		}
 		return false
 	}
 	for _, pid := range l.scan {
@@ -380,7 +425,12 @@ func (l *LCP) run(p *simProc) {
 			continue
 		}
 		if l.curJob != nil {
-			l.stepJob(p)
+			if l.preemptShort {
+				l.serveShortPreempt(p)
+			}
+			if l.curJob != nil {
+				l.stepJob(p)
+			}
 			continue
 		}
 		if st, e, ok := l.scanQueues(p); ok {
@@ -388,6 +438,57 @@ func (l *LCP) run(p *simProc) {
 		}
 	}
 }
+
+// pendingShortOther reports whether any process other than owner has a
+// short send at its queue head, without charging time (hasWork's
+// discovery contract; the preempt scan pays the poll costs).
+func (l *LCP) pendingShortOther(owner *lcpProcState) bool {
+	for _, pid := range l.scan {
+		st := l.states[pid]
+		if st == owner {
+			continue
+		}
+		if e, ok := st.sq.peek(); ok && e.inline != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// serveShortPreempt serves at most one pending short send from a process
+// other than the current long job's owner — the QoS escape hatch from
+// the §5.3 tight loop's head-of-line blocking, where a 128 KB transfer
+// monopolizes the control program for milliseconds while a co-resident
+// tenant's 60-byte RPC waits. Only queue heads are taken, so each
+// process's own posting order is never reordered; long sends from other
+// queues stay queued (one long job at a time remains the design point).
+func (l *LCP) serveShortPreempt(p *simProc) {
+	j := l.curJob
+	nq := len(l.scan)
+	for i := 0; i < nq; i++ {
+		idx := (l.scanPtr + i) % nq
+		st := l.states[l.scan[idx]]
+		if st == j.st {
+			continue
+		}
+		p.Sleep(l.node.Prof.LCPScanPerQueue)
+		l.stats.QueueScansTotalDistance++
+		e, ok := st.sq.peek()
+		if !ok || e.inline == nil {
+			continue
+		}
+		st.sq.take()
+		l.scanPtr = (idx + 1) % nq
+		l.stats.ShortPreempts++
+		l.handleShort(p, st, e)
+		return
+	}
+}
+
+// SetShortPreempt toggles short-send preemption between long-send chunks
+// (see serveShortPreempt). Off by default — the paper's LCP runs one
+// request to completion — and enabled by the tenant manager's QoS.
+func (l *LCP) SetShortPreempt(on bool) { l.preemptShort = on }
 
 // scanQueues polls the per-process send queues round-robin, charging the
 // per-queue poll cost — with many registered senders, picking up a request
@@ -439,6 +540,12 @@ func scatterFor(outPT *OutgoingTable, dest ProxyAddr, n int) (addr1 mem.PhysAddr
 // with the LANai-to-host DMA engine, letting the library spin on a cache
 // location instead of reading across the bus (§4.5).
 func (l *LCP) writeCompletion(p *simProc, st *lcpProcState, seq uint32, code uint32) {
+	if st.gone {
+		// The process was killed: its status page is unpinned and nobody
+		// is spinning on it. Dropping the write is what real hardware
+		// does when the doorbell's owner has exited.
+		return
+	}
 	p.Sleep(l.node.Prof.LCPCompletion)
 	buf := l.node.Board.SRAM.Bytes(l.scratchOff, 8)
 	binary.BigEndian.PutUint32(buf[0:], seq)
@@ -493,11 +600,11 @@ func (l *LCP) handleShort(p *simProc, st *lcpProcState, e sqEntry) {
 		// safe in the queue entry, so completion precedes injection and
 		// injection cannot fail (§4.2/§4.5).
 		l.writeCompletion(p, st, e.seq, ceOK)
-		l.node.Board.SendPacket(p, route, payload)
+		l.node.Board.SendPacketClass(p, route, payload, st.limits.Class)
 	} else {
 		// With the link layer the injection can fail (retransmit budget
 		// exhausted); completion follows it so the error is reportable.
-		if err := l.node.Board.SendPacket(p, route, payload); err != nil {
+		if err := l.node.Board.SendPacketClass(p, route, payload, st.limits.Class); err != nil {
 			l.writeCompletion(p, st, e.seq, ceUnreachable)
 			return
 		}

@@ -1,6 +1,7 @@
 package vmmc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/mem"
@@ -146,7 +147,7 @@ func (l *LCP) stepJob(p *simProc) {
 			}
 		}
 		payload := append(hdr.encode(), l.node.Board.SRAM.Bytes(c.sramOff, c.n)...)
-		if err := l.node.Board.SendPacket(p, j.route, payload); err != nil {
+		if err := l.node.Board.SendPacketClass(p, j.route, payload, j.st.limits.Class); err != nil {
 			// Destination unreachable: abandon the transfer and report
 			// the typed failure (the remaining chunks would only burn
 			// the budget again).
@@ -220,10 +221,17 @@ func (l *LCP) startChunkDMA(p *simProc, j *sendJob) {
 				if err != nil {
 					j.failed = true
 					// Report the failure on the host path: the driver
-					// could not translate the send buffer.
-					l.node.Eng.Go(fmt.Sprintf("lcp:%d:fail", l.node.ID), func(fp *simProc) {
-						l.writeCompletion(fp, j.st, j.e.seq, ceBadSource)
-					})
+					// could not translate the send buffer, or the
+					// process's pin budget is exhausted.
+					code := uint32(ceBadSource)
+					if errors.Is(err, ErrPinBudget) {
+						code = cePinBudget
+					}
+					if !j.completed {
+						l.node.Eng.Go(fmt.Sprintf("lcp:%d:fail", l.node.ID), func(fp *simProc) {
+							l.writeCompletion(fp, j.st, j.e.seq, code)
+						})
+					}
 					j.completed = true
 				}
 				l.work.Signal()
@@ -239,6 +247,14 @@ func (l *LCP) startChunkDMA(p *simProc, j *sendJob) {
 	j.dmaBusy = true
 	last := j.nextOff == j.total
 	l.node.Eng.Go(fmt.Sprintf("lcp:%d:hostdma", l.node.ID), func(dp *simProc) {
+		if j.st.gone {
+			// The owner was killed between scheduling and start: its
+			// TLB pins are already released, so the DMA must not run.
+			j.dmaBusy = false
+			j.failed = true
+			l.work.Signal()
+			return
+		}
 		if err := l.node.Board.HostToSRAM(dp, srcPA, slot, n); err != nil {
 			// The TLB pinned this page; a failure here is a model bug.
 			panic(fmt.Sprintf("lcp%d: chunk DMA failed: %v", l.node.ID, err))

@@ -126,12 +126,42 @@ func (n *Node) restart() error {
 	return nil
 }
 
+// ProcLimits partitions the interface's contended budgets for one
+// process. The zero value reproduces the legacy first-come-first-served
+// defaults: full-depth send queue, full-size TLB, unlimited pinning,
+// the shared link class.
+type ProcLimits struct {
+	// SendQueueEntries is the SRAM send-queue ring depth (default 16).
+	SendQueueEntries int
+	// TLBEntries sizes the per-process software TLB (default 2048;
+	// rounded down to an even count for the two-way sets, and floored
+	// at twice TLBRefillBatch — a smaller TLB could evict a faulting
+	// page with its own refill batch and livelock the transfer).
+	TLBEntries int
+	// PinBudget caps host frames locked on the process's behalf — TLB
+	// translations plus export locks. 0 means unlimited. Exhaustion
+	// surfaces as ErrPinBudget instead of silently starving co-resident
+	// processes of pinnable memory.
+	PinBudget int
+	// Class is the link traffic class the process's packets ride in:
+	// its own reliable-link windows, and (when the board configures the
+	// class) its own bandwidth budget. 0 is the shared default class.
+	Class int
+}
+
 // NewProcess creates a user process on the node and registers it with the
 // LCP: a send queue, an outgoing page table and a software TLB are carved
 // out of board SRAM, and a pinned status page is set up for completion
 // reporting. It fails with ErrProcessLimit when the SRAM budget is
 // exhausted — the paper's limit on simultaneous VMMC users per interface.
 func (n *Node) NewProcess(p *sim.Proc) (*Process, error) {
+	return n.NewProcessWith(p, ProcLimits{})
+}
+
+// NewProcessWith is NewProcess under an explicit resource partition. All
+// partial state — SRAM carve, status-page allocation and pin — rolls
+// back on any failure, so a rejected admission leaks nothing.
+func (n *Node) NewProcessWith(p *sim.Proc, limits ProcLimits) (*Process, error) {
 	if n.crashed {
 		return nil, ErrNodeDown
 	}
@@ -139,7 +169,7 @@ func (n *Node) NewProcess(p *sim.Proc) (*Process, error) {
 	n.nextPid++
 	as := mem.NewAddressSpace(n.Phys)
 
-	st, err := n.LCP.registerProcess(pid)
+	st, err := n.LCP.registerProcess(pid, limits)
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +185,7 @@ func (n *Node) NewProcess(p *sim.Proc) (*Process, error) {
 	}
 	statusPA, err := as.Translate(statusVA)
 	if err != nil {
+		as.Unpin(statusVA, mem.PageSize)
 		n.LCP.unregisterProcess(pid)
 		return nil, err
 	}
@@ -205,10 +236,57 @@ func (proc *Process) Close(p *sim.Proc) error {
 	for _, f := range frames {
 		n.Phys.Unpin(f)
 	}
+	proc.lcpState.releasePin(len(frames))
 	proc.AS.Unpin(proc.statusVA, mem.PageSize)
 	n.LCP.unregisterProcess(proc.Pid)
 	delete(n.procs, proc.Pid)
 	return nil
+}
+
+// KillProcess models abrupt process death — the tenant-crash path. It is
+// the scoped counterpart of a whole-node crash: only the victim's state
+// is torn down, synchronously and kill-safely, leaving co-resident
+// processes' transfers untouched.
+//
+//   - the in-flight long send, if it is the victim's, is aborted (staged
+//     chunks discarded; the status write is suppressed via the gone flag
+//     because the status page is unpinned here);
+//   - the daemon scrubs the victim's exports and imports locally, with
+//     no wire traffic (the owner died; the OS reclaims silently);
+//   - TLB translations are invalidated, their page locks and the pin
+//     budget released, and the status page unpinned;
+//   - the victim's reliable-link windows — its traffic class's — are
+//     dropped silently, never the shared class 0;
+//   - the SRAM carve (send queue, page table, TLB) is freed.
+//
+// All of this is pure state manipulation: no time passes, no events are
+// scheduled, so the kill is atomic with respect to the simulation.
+func (n *Node) KillProcess(pid int) {
+	proc, ok := n.procs[pid]
+	if !ok {
+		return
+	}
+	proc.dead = true
+	st := proc.lcpState
+	st.gone = true
+	if j := n.LCP.curJob; j != nil && j.st == st {
+		j.failed = true
+		j.completed = true
+		j.staged = nil
+	}
+	n.Daemon.scrubProcess(proc)
+	frames := st.tlb.InvalidateAll()
+	for _, f := range frames {
+		n.Phys.Unpin(f)
+	}
+	st.releasePin(len(frames))
+	proc.AS.Unpin(proc.statusVA, mem.PageSize)
+	if rl := n.Board.Reliable(); rl != nil {
+		rl.DropClass(st.limits.Class)
+	}
+	n.LCP.unregisterProcess(pid)
+	delete(n.procs, pid)
+	n.LCP.work.Signal()
 }
 
 // Process returns the node's process with the given pid.

@@ -45,6 +45,19 @@ type ProcErrors struct {
 // Errors returns the process's error counters.
 func (proc *Process) Errors() ProcErrors { return proc.errs }
 
+// Limits returns the admission-time resource partition the process runs
+// under (the zero value for legacy NewProcess callers).
+func (proc *Process) Limits() ProcLimits { return proc.lcpState.limits }
+
+// PinnedFrames reports how many host frames are currently locked on the
+// process's behalf — TLB translations plus export locks — the quantity
+// charged against ProcLimits.PinBudget.
+func (proc *Process) PinnedFrames() int { return proc.lcpState.pins }
+
+// Dead reports whether the process handle went permanently stale (its
+// node crashed, or the process was killed).
+func (proc *Process) Dead() bool { return proc.dead }
+
 // alive gates every library call against node death.
 func (proc *Process) alive() error {
 	if proc.dead || proc.Node.crashed {
@@ -219,9 +232,13 @@ func (proc *Process) RegisterBuffer(p *simProc, va mem.VirtAddr, n int) error {
 		if _, hit := st.tlb.Lookup(uint64(pageVA.Page())); hit {
 			continue
 		}
+		if err := st.chargePin(1); err != nil {
+			return err
+		}
 		node.Phys.Pin(pa.Frame())
 		if _, oldFrame, evicted := st.tlb.Insert(uint64(pageVA.Page()), pa.Frame()); evicted {
 			node.Phys.Unpin(oldFrame)
+			st.releasePin(1)
 		}
 	}
 	return nil

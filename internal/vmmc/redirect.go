@@ -99,7 +99,7 @@ func (proc *Process) CompleteRedirect(p *simProc, tag uint32) (int64, error) {
 	p.Sleep(daemonIPCCost / 3) // interface update
 	proc.Node.CPU.MMIOWriteWords(p, 2)
 	delete(lcp.redirects, tag)
-	proc.Node.Driver.unlock(rd.frames)
+	proc.Node.Driver.unlock(proc.lcpState, rd.frames)
 	return rd.redirected, nil
 }
 

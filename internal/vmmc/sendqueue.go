@@ -38,12 +38,15 @@ const (
 	sendQueueSRAMBytes = sendQueueEntries * sendQueueEntrySize
 )
 
-func newSendQueue(sram *lanai.SRAM, pid int) (*SendQueue, error) {
-	off, err := sram.Alloc(sendQueueSRAMBytes, fmt.Sprintf("sendq:%d", pid))
+func newSendQueue(sram *lanai.SRAM, pid, entries int) (*SendQueue, error) {
+	if entries <= 0 {
+		entries = sendQueueEntries
+	}
+	off, err := sram.Alloc(entries*sendQueueEntrySize, fmt.Sprintf("sendq:%d", pid))
 	if err != nil {
 		return nil, err
 	}
-	return &SendQueue{pid: pid, sramOff: off, ring: make([]sqEntry, sendQueueEntries)}, nil
+	return &SendQueue{pid: pid, sramOff: off, ring: make([]sqEntry, entries)}, nil
 }
 
 // full reports whether the ring has no free entry.
@@ -60,6 +63,14 @@ func (q *SendQueue) post(e sqEntry) {
 	q.ring[q.tail] = e
 	q.tail = (q.tail + 1) % len(q.ring)
 	q.count++
+}
+
+// peek returns the oldest request without removing it.
+func (q *SendQueue) peek() (sqEntry, bool) {
+	if q.count == 0 {
+		return sqEntry{}, false
+	}
+	return q.ring[q.head], true
 }
 
 // take removes the oldest request.

@@ -9,7 +9,7 @@ import (
 
 func TestSendQueueRing(t *testing.T) {
 	sram := lanai.NewSRAM(64 << 10)
-	q, err := newSendQueue(sram, 0)
+	q, err := newSendQueue(sram, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestSendQueueRing(t *testing.T) {
 
 func TestSendQueueOverflowPanics(t *testing.T) {
 	sram := lanai.NewSRAM(64 << 10)
-	q, _ := newSendQueue(sram, 0)
+	q, _ := newSendQueue(sram, 0, 0)
 	for i := 0; i < sendQueueEntries; i++ {
 		q.post(sqEntry{})
 	}
@@ -52,7 +52,7 @@ func TestSendQueueOverflowPanics(t *testing.T) {
 func TestSendQueueFIFOProperty(t *testing.T) {
 	f := func(ops []bool) bool {
 		sram := lanai.NewSRAM(64 << 10)
-		q, err := newSendQueue(sram, 0)
+		q, err := newSendQueue(sram, 0, 0)
 		if err != nil {
 			return false
 		}

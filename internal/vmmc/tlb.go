@@ -34,12 +34,24 @@ const (
 	tlbEntryBytes  = 8
 )
 
-func newTLB(sram *lanai.SRAM, pid int) (*TLB, error) {
-	off, err := sram.Alloc(TLBEntries*tlbEntryBytes, fmt.Sprintf("tlb:%d", pid))
+func newTLB(sram *lanai.SRAM, pid, entries int) (*TLB, error) {
+	if entries <= 0 {
+		entries = TLBEntries
+	}
+	// Floor at twice the refill batch: with fewer sets than the batch
+	// covers, a refill's own later inserts can evict the faulting page
+	// before the stalled send resumes, and the transfer refaults the
+	// same page forever. 2*batch gives every page of one batch its own
+	// set, so the faulting translation always survives its refill.
+	if entries < 2*TLBRefillBatch {
+		entries = 2 * TLBRefillBatch
+	}
+	entries &^= 1 // two-way sets need an even entry count
+	off, err := sram.Alloc(entries*tlbEntryBytes, fmt.Sprintf("tlb:%d", pid))
 	if err != nil {
 		return nil, err
 	}
-	nsets := TLBEntries / 2
+	nsets := entries / 2
 	return &TLB{
 		sets:    make([][2]tlbEntry, nsets),
 		lru:     make([]uint8, nsets),

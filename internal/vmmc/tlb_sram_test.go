@@ -1,6 +1,7 @@
 package vmmc
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/fault"
@@ -357,6 +358,235 @@ func TestMultipleSendersInterleave(t *testing.T) {
 					t.Fatalf("sender %d buffer corrupted at %d: %#x", i, j, b)
 				}
 			}
+		}
+	})
+}
+
+func TestConcurrentSendQueueSlotContention(t *testing.T) {
+	// Several processes race through deliberately tiny send-queue
+	// partitions: each ring holds 2 entries while each sender posts 16
+	// short messages back to back, so every sender repeatedly fills its
+	// ring and spins for the LCP to drain it. The partitions must stay
+	// independent — every message arrives intact, no sender starves —
+	// and closing the processes must return every slot, leaving room
+	// for a full-depth process afterwards.
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		recv, _ := c.Nodes[1].NewProcess(p)
+		const nsenders = 4
+		const msgs = 16
+		const msgLen = 64 // short-send path: posts copy inline into the ring
+		bufs := make([]mem.VirtAddr, nsenders)
+		for i := 0; i < nsenders; i++ {
+			bufs[i], _ = recv.Malloc(mem.PageSize)
+			if err := recv.Export(p, uint32(20+i), bufs[i], mem.PageSize, nil, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		limits := ProcLimits{SendQueueEntries: 2, TLBEntries: 32}
+		doneCnt := 0
+		done := sim.NewCond(c.Eng)
+		for i := 0; i < nsenders; i++ {
+			i := i
+			c.Eng.Go("squeezed-sender", func(sp *simProc) {
+				defer func() { doneCnt++; done.Broadcast() }()
+				proc, err := c.Nodes[0].NewProcessWith(sp, limits)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := proc.Limits().SendQueueEntries; got != 2 {
+					t.Errorf("sender %d queue depth = %d, want 2", i, got)
+				}
+				dest, _, err := proc.Import(sp, 1, uint32(20+i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				src, _ := proc.Malloc(mem.PageSize)
+				for k := 0; k < msgs; k++ {
+					payload := make([]byte, msgLen)
+					for j := range payload {
+						payload[j] = byte(i + 1)
+					}
+					payload[0] = byte(k + 1)
+					if err := proc.Write(src, payload); err != nil {
+						t.Error(err)
+						return
+					}
+					// Async post: floods the 2-entry ring and spins on full.
+					if _, err := proc.SendMsg(sp, src, dest+ProxyAddr(k*msgLen), msgLen, SendOptions{}); err != nil {
+						t.Errorf("sender %d msg %d: %v", i, k, err)
+						return
+					}
+				}
+				if err := proc.Close(sp); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		for doneCnt < nsenders {
+			done.Wait(p)
+		}
+		p.Sleep(5 * sim.Millisecond)
+		for i := 0; i < nsenders; i++ {
+			data, _ := recv.Read(bufs[i], msgs*msgLen)
+			for k := 0; k < msgs; k++ {
+				chunk := data[k*msgLen : (k+1)*msgLen]
+				if chunk[0] != byte(k+1) || chunk[1] != byte(i+1) {
+					t.Fatalf("sender %d msg %d corrupted: lead bytes %#x %#x", i, k, chunk[0], chunk[1])
+				}
+			}
+		}
+		// All partitions released: a default (full-depth) process fits.
+		if _, err := c.Nodes[0].NewProcess(p); err != nil {
+			t.Errorf("slots not reclaimed after contention: %v", err)
+		}
+	})
+}
+
+func TestConcurrentTLBContentionUnderEviction(t *testing.T) {
+	// Two processes with small TLB partitions stream buffers several
+	// times their TLB capacity, concurrently. Every transfer forces
+	// refills and evictions in its own partition; the data must arrive
+	// intact and teardown must unpin everything the TLBs held. The
+	// requested 8-entry TLB also exercises the 2*TLBRefillBatch floor:
+	// without it, a refill batch evicts its own faulting page and the
+	// transfer livelocks.
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		recv, _ := c.Nodes[1].NewProcess(p)
+		const nsenders = 2
+		const tlbCap = 2 * TLBRefillBatch // the floored partition size
+		const pages = 3 * tlbCap          // stream 3x the TLB's reach
+		const window = pages * mem.PageSize
+		bufs := make([]mem.VirtAddr, nsenders)
+		for i := 0; i < nsenders; i++ {
+			bufs[i], _ = recv.Malloc(window)
+			if err := recv.Export(p, uint32(30+i), bufs[i], window, nil, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		limits := ProcLimits{SendQueueEntries: 4, TLBEntries: 8}
+		procs := make([]*Process, nsenders)
+		doneCnt := 0
+		done := sim.NewCond(c.Eng)
+		for i := 0; i < nsenders; i++ {
+			i := i
+			c.Eng.Go("tlb-thrasher", func(sp *simProc) {
+				defer func() { doneCnt++; done.Broadcast() }()
+				proc, err := c.Nodes[0].NewProcessWith(sp, limits)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				procs[i] = proc
+				dest, _, err := proc.Import(sp, 1, uint32(30+i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				src, _ := proc.Malloc(window)
+				payload := make([]byte, window)
+				for j := range payload {
+					payload[j] = byte(i + 1)
+				}
+				if err := proc.Write(src, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				for k := 0; k < 3; k++ {
+					if err := proc.SendMsgSync(sp, src, dest, window, SendOptions{}); err != nil {
+						t.Errorf("thrasher %d pass %d: %v", i, k, err)
+						return
+					}
+				}
+				// The partition bounds what the TLB can hold pinned: a
+				// process never holds more translations than its (floored)
+				// TLB's entries, plus its status page.
+				if pins := proc.PinnedFrames(); pins > tlbCap+1 {
+					t.Errorf("thrasher %d holds %d pins, partition allows %d", i, pins, tlbCap+1)
+				}
+			})
+		}
+		for doneCnt < nsenders {
+			done.Wait(p)
+		}
+		p.Sleep(5 * sim.Millisecond)
+		for i := 0; i < nsenders; i++ {
+			data, _ := recv.Read(bufs[i], window)
+			for j, b := range data {
+				if b != byte(i+1) {
+					t.Fatalf("thrasher %d buffer corrupted at %d: %#x", i, j, b)
+				}
+			}
+			if err := procs[i].Close(p); err != nil {
+				t.Fatal(err)
+			}
+			if pins := procs[i].PinnedFrames(); pins != 0 {
+				t.Errorf("thrasher %d still holds %d pins after close", i, pins)
+			}
+		}
+	})
+}
+
+func TestPinBudgetExhaustionIsolatesNeighbor(t *testing.T) {
+	// A process with a 4-frame pin budget attempts an 8-page transfer:
+	// the TLB refill overdraws the budget mid-send and the completion
+	// surfaces the typed ErrPinBudget. A co-resident process with an
+	// ample budget runs the same transfer concurrently and must succeed
+	// untouched — exhaustion is contained to the partition that hit it.
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		recv, _ := c.Nodes[1].NewProcess(p)
+		const pages = 8
+		const window = pages * mem.PageSize
+		for i := 0; i < 2; i++ {
+			buf, _ := recv.Malloc(window)
+			if err := recv.Export(p, uint32(40+i), buf, window, nil, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		starved, err := c.Nodes[0].NewProcessWith(p, ProcLimits{TLBEntries: 32, PinBudget: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		healthy, err := c.Nodes[0].NewProcessWith(p, ProcLimits{TLBEntries: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		healthyDone := false
+		done := sim.NewCond(c.Eng)
+		c.Eng.Go("healthy-sender", func(sp *simProc) {
+			defer func() { healthyDone = true; done.Broadcast() }()
+			dest, _, err := healthy.Import(sp, 1, 41)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			src, _ := healthy.Malloc(window)
+			if err := healthy.SendMsgSync(sp, src, dest, window, SendOptions{}); err != nil {
+				t.Errorf("ample-budget neighbor failed: %v", err)
+			}
+		})
+
+		dest, _, err := starved.Import(p, 1, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, _ := starved.Malloc(window)
+		if err := starved.SendMsgSync(p, src, dest, window, SendOptions{}); !errors.Is(err, ErrPinBudget) {
+			t.Errorf("over-budget transfer got %v, want ErrPinBudget", err)
+		}
+		if errs := starved.Errors(); errs.SendFailures == 0 {
+			t.Error("send failure not counted against the starved process")
+		}
+		// The failed refill must not leak budget: a transfer that fits
+		// (4 pages) still goes through on the same process.
+		if err := starved.SendMsgSync(p, src, dest, 4*mem.PageSize, SendOptions{}); err != nil {
+			t.Errorf("within-budget transfer after exhaustion: %v", err)
+		}
+
+		for !healthyDone {
+			done.Wait(p)
 		}
 	})
 }
