@@ -21,6 +21,7 @@ var (
 	collNodes   = flag.String("coll-nodes", "", "collsweep communicator sizes, comma-separated (default 4,8,16)")
 	collOut     = flag.String("coll-out", "", "collsweep: write the BENCH_coll.json artifact here")
 	tenantCalls = flag.String("tenant-calls", "", "tenantsweep victim vRPC calls per cell (default 32)")
+	tenantRates = flag.String("tenant-rates", "", "tenantsweep qos=on aggressor budgets in bytes/sec, comma-separated (default 5e6,10e6,20e6)")
 	tenantOut   = flag.String("tenant-out", "", "tenantsweep: write the BENCH_tenant.json artifact here")
 )
 
@@ -170,7 +171,11 @@ func runTenantSweep(w io.Writer) error {
 		}
 		calls = vals[0]
 	}
-	t, err := bench.TenantSweep(bench.TenantConfig{Calls: calls, Out: *tenantOut})
+	rates, err := parseFloatList(*tenantRates, "-tenant-rates")
+	if err != nil {
+		return err
+	}
+	t, err := bench.TenantSweep(bench.TenantConfig{Calls: calls, Rates: rates, Out: *tenantOut})
 	if err != nil {
 		return err
 	}
@@ -189,6 +194,21 @@ func parseIntList(s, flagName string, min int) ([]int, error) {
 			return nil, fmt.Errorf("bad %s entry %q", flagName, part)
 		}
 		vals = append(vals, n)
+	}
+	return vals, nil
+}
+
+func parseFloatList(s, flagName string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var vals []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad %s entry %q", flagName, part)
+		}
+		vals = append(vals, v)
 	}
 	return vals, nil
 }

@@ -24,6 +24,12 @@ type TenantConfig struct {
 	// AggRate is the aggressor's link budget under QoS in bytes/sec.
 	// Zero selects 40 MB/s — a quarter of the 160 MB/s wire.
 	AggRate float64
+	// Rates are the declared aggressor budgets for the qos=on rate sweep,
+	// in bytes/sec. These should sit well below the wire rate so the pacer
+	// demonstrably engages during the measured window (the default AggRate
+	// of 40 MB/s rarely does for short runs). Nil selects 5, 10 and
+	// 20 MB/s; an explicit empty slice is replaced by the default too.
+	Rates []float64
 	// Out, when non-empty, writes the BENCH_tenant.json artifact here.
 	// Every quantity is virtual-time derived, so the file is
 	// byte-identical across runs.
@@ -38,6 +44,7 @@ type TenantResult struct {
 	Case       string
 	QoS        bool
 	Crashed    bool
+	Rate       float64 // aggressor's declared link budget, 0 when solo
 	Calls      int
 	P50        sim.Time
 	P99        sim.Time
@@ -69,6 +76,10 @@ func TenantSweep(cfg TenantConfig) (Table, error) {
 	if cfg.AggRate == 0 {
 		cfg.AggRate = 40e6
 	}
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = []float64{5e6, 10e6, 20e6}
+	}
+	sort.Float64s(cfg.Rates)
 
 	t := Table{
 		Title: "Tenant sweep: victim vRPC latency vs a 128 KB all-reduce neighbor (2 nodes)",
@@ -77,10 +88,11 @@ func TenantSweep(cfg TenantConfig) (Table, error) {
 	}
 
 	type cell struct {
-		name       string
-		aggressor  bool
-		qos        bool
-		crash      bool
+		name      string
+		aggressor bool
+		qos       bool
+		crash     bool
+		rate      float64 // declared aggressor budget, cfg.AggRate when 0
 	}
 	cells := []cell{
 		{name: "solo"},
@@ -88,18 +100,31 @@ func TenantSweep(cfg TenantConfig) (Table, error) {
 		{name: "shared qos=on", aggressor: true, qos: true},
 		{name: "crash qos=on", aggressor: true, qos: true, crash: true},
 	}
+	// The rate sweep: the qos=on cell repeated at declared budgets low
+	// enough that the pacer engages inside the measured window, pinning
+	// the victim-p99-vs-rate curve.
+	for _, rate := range cfg.Rates {
+		cells = append(cells, cell{
+			name:      fmt.Sprintf("shared qos=on rate=%gMB/s", rate/1e6),
+			aggressor: true, qos: true, rate: rate,
+		})
+	}
 
 	var (
 		results []TenantResult
 		reports []*analysis.Report
 	)
 	for _, cl := range cells {
-		r, err := runTenantCase(cl.name, cl.aggressor, cl.qos, cl.crash, cfg)
+		caseCfg := cfg
+		if cl.rate != 0 {
+			caseCfg.AggRate = cl.rate
+		}
+		r, err := runTenantCase(cl.name, cl.aggressor, cl.qos, cl.crash, caseCfg)
 		if err != nil {
 			return t, err
 		}
 		firstRep := takeAnalysis()
-		again, err := runTenantCase(cl.name, cl.aggressor, cl.qos, cl.crash, cfg)
+		again, err := runTenantCase(cl.name, cl.aggressor, cl.qos, cl.crash, caseCfg)
 		if err != nil {
 			return t, err
 		}
@@ -133,17 +158,42 @@ func TenantSweep(cfg TenantConfig) (Table, error) {
 	// p99, and both shared cells must beat nothing — the solo cell is the
 	// floor.
 	var off, on TenantResult
+	var sweep []TenantResult
 	for _, r := range results {
-		switch r.Case {
-		case "shared qos=off":
+		switch {
+		case r.Case == "shared qos=off":
 			off = r
-		case "shared qos=on":
+		case r.Case == "shared qos=on":
 			on = r
+		case r.QoS && !r.Crashed && r.Rate != 0:
+			sweep = append(sweep, r)
 		}
 	}
 	if on.P99 >= off.P99 {
 		return t, fmt.Errorf("bench: tenantsweep: qos=on p99 %.1f us did not improve on qos=off %.1f us",
 			on.P99.Micros(), off.P99.Micros())
+	}
+
+	// Rate-sweep acceptance: at every swept budget the pacer must have
+	// demonstrably engaged (nonzero throttles) yet the victim's tail must
+	// still beat the unpaced shared run — the whole point of deficit-skip
+	// scheduling is that a heavily paced neighbor cannot make the victim
+	// worse. Along the curve (rates ascending), a looser aggressor budget
+	// must not reduce the pacer's accumulated deferral time: throttled
+	// time per unit of budget is monotone.
+	for i, r := range sweep {
+		if r.Throttles == 0 {
+			return t, fmt.Errorf("bench: tenantsweep %q: pacer never engaged (0 throttles); sweep rate too high",
+				r.Case)
+		}
+		if r.P99 >= off.P99 {
+			return t, fmt.Errorf("bench: tenantsweep %q: victim p99 %.1f us did not beat qos=off %.1f us",
+				r.Case, r.P99.Micros(), off.P99.Micros())
+		}
+		if i > 0 && r.Throttled > sweep[i-1].Throttled {
+			return t, fmt.Errorf("bench: tenantsweep: throttled time not monotone: %q %.1f us > %q %.1f us",
+				r.Case, r.Throttled.Micros(), sweep[i-1].Case, sweep[i-1].Throttled.Micros())
+		}
 	}
 
 	if cfg.Out != "" {
@@ -167,6 +217,9 @@ func runTenantCase(name string, aggressor, qos, crash bool, cfg TenantConfig) (T
 	mgr.SetQoS(qos)
 
 	res := TenantResult{Case: name, QoS: qos}
+	if aggressor {
+		res.Rate = cfg.AggRate
+	}
 	var runErr error
 	var latencies []sim.Time
 
@@ -189,10 +242,10 @@ func runTenantCase(name string, aggressor, qos, crash bool, cfg TenantConfig) (T
 				runErr = err
 				return
 			}
-			// Slots: 8 deepens the credit pipeline to cover the 64 KB
-			// per-round ring block at n=2; the default depth (2×16 KB)
-			// would deadlock both ranks in the send-then-receive round.
-			comms, err := coll.Build(p, agg.Procs, coll.Options{Slots: 8})
+			// Default credit depth (2×16 KB): the ring algorithms split
+			// oversized rounds into credit-window sub-rounds, so the 64 KB
+			// per-round block at n=2 no longer needs a deepened pipeline.
+			comms, err := coll.Build(p, agg.Procs, coll.Options{})
 			if err != nil {
 				runErr = err
 				return
@@ -204,7 +257,27 @@ func runTenantCase(name string, aggressor, qos, crash bool, cfg TenantConfig) (T
 					cm := comms[r]
 					in := collVector(cfg.AggBytes, r)
 					out := make([]byte, len(in))
-					for !stop {
+					fout := make([]byte, 4)
+					for {
+						// The stop decision is itself collective: each rank
+						// contributes its local view and all ranks exit in
+						// the same iteration. A bare per-rank check races —
+						// one rank can enter the next all-reduce just before
+						// stop flips while its peer sees the flag and exits,
+						// stranding the first mid-collective.
+						flag := []int32{0}
+						if stop {
+							flag[0] = 1
+						}
+						if err := cm.AllReduce(rp, coll.EncodeInt32s(flag), fout, coll.OpMax, coll.Int32, coll.Tree); err != nil {
+							if agg.State() == tenant.Admitted && runErr == nil {
+								runErr = fmt.Errorf("bench: tenantsweep %s: aggressor rank %d: %w", name, r, err)
+							}
+							return
+						}
+						if votes, err := coll.DecodeInt32s(fout); err != nil || votes[0] != 0 {
+							return
+						}
 						if err := cm.AllReduce(rp, in, out, coll.OpSum, coll.Int32, coll.Ring); err != nil {
 							// Expected only after a kill (the crash cell);
 							// anywhere else it is a real failure.
@@ -286,9 +359,19 @@ func runTenantCase(name string, aggressor, qos, crash bool, cfg TenantConfig) (T
 
 		if agg != nil {
 			// Read the pacer's attribution before teardown frees the class.
+			// The aggressor's class is the only budgeted one on these
+			// boards, so its per-class stats must reconcile exactly with
+			// the scheduler's totals — the deficit-skip path (Defer /
+			// TryCharge) must attribute every deferral the same way the
+			// blocking path attributed its sleeps.
 			for _, id := range agg.Nodes {
 				if ls := c.Nodes[id].Board.LinkScheduler(); ls != nil {
 					n, d := ls.ClassStats(agg.Class)
+					if n != ls.Throttles || d != ls.ThrottledTime {
+						runErr = fmt.Errorf("bench: tenantsweep %s: node %d pacer attribution leak: class (%d, %v) vs total (%d, %v)",
+							name, id, n, d, ls.Throttles, ls.ThrottledTime)
+						return
+					}
 					res.Throttles += n
 					res.Throttled += d
 				}
@@ -371,6 +454,14 @@ func writeTenantJSON(cfg TenantConfig, rs []TenantResult, reps []*analysis.Repor
 	fmt.Fprintf(f, "  \"calls\": %d,\n", cfg.Calls)
 	fmt.Fprintf(f, "  \"aggressor_bytes\": %d,\n", cfg.AggBytes)
 	fmt.Fprintf(f, "  \"aggressor_rate_b_s\": %.0f,\n", cfg.AggRate)
+	fmt.Fprintf(f, "  \"sweep_rates_b_s\": [")
+	for i, r := range cfg.Rates {
+		if i > 0 {
+			fmt.Fprintf(f, ", ")
+		}
+		fmt.Fprintf(f, "%.0f", r)
+	}
+	fmt.Fprintf(f, "],\n")
 	fmt.Fprintf(f, "  \"cases\": [\n")
 	for i, r := range rs {
 		comma := ","
@@ -381,11 +472,11 @@ func writeTenantJSON(cfg TenantConfig, rs []TenantResult, reps []*analysis.Repor
 		if i < len(reps) && reps[i] != nil {
 			verdict = reps[i].Verdict
 		}
-		fmt.Fprintf(f, "    {\"case\": %q, \"qos\": %t, \"crashed\": %t, \"calls\": %d, "+
+		fmt.Fprintf(f, "    {\"case\": %q, \"qos\": %t, \"crashed\": %t, \"rate_b_s\": %.0f, \"calls\": %d, "+
 			"\"p50_us\": %.3f, \"p99_us\": %.3f, \"max_us\": %.3f, "+
 			"\"agg_ops\": %d, \"throttles\": %d, \"throttled_us\": %.3f, "+
 			"\"preempts\": %d, \"victim_errors\": %d, \"verdict\": %q}%s\n",
-			r.Case, r.QoS, r.Crashed, r.Calls,
+			r.Case, r.QoS, r.Crashed, r.Rate, r.Calls,
 			r.P50.Micros(), r.P99.Micros(), r.Max.Micros(),
 			r.AggOps, r.Throttles, r.Throttled.Micros(),
 			r.Preempts, r.VictimErrs, verdict, comma)

@@ -26,8 +26,8 @@ func TestTenantSweepSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 4 { // solo, qos=off, qos=on, crash
-		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	if len(tbl.Rows) != 7 { // solo, qos=off, qos=on, crash + 3 default sweep rates
+		t.Fatalf("rows = %d, want 7", len(tbl.Rows))
 	}
 	data, err := os.ReadFile(cfg.Out)
 	if err != nil {
@@ -36,7 +36,8 @@ func TestTenantSweepSmall(t *testing.T) {
 	for _, key := range []string{
 		`"benchmark": "vmmc-tenantsweep"`, `"case": "solo"`,
 		`"case": "shared qos=off"`, `"case": "shared qos=on"`,
-		`"case": "crash qos=on"`, `"victim_errors": 0`,
+		`"case": "crash qos=on"`, `"case": "shared qos=on rate=5MB/s"`,
+		`"sweep_rates_b_s"`, `"victim_errors": 0`,
 		`"verdict"`, `"tenants"`, `"name": "bulk"`, `"name": "victim"`,
 	} {
 		if !strings.Contains(string(data), key) {

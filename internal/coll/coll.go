@@ -146,6 +146,14 @@ type Comm struct {
 
 	sendBuf mem.VirtAddr // staging for one outgoing payload chunk
 	sigBuf  mem.VirtAddr // staging for 4-byte signals (content ignored)
+
+	// round counts step() calls and lastStep names the latest, so a wedged
+	// credit wait can report where in the algorithm it stuck; stall is
+	// non-nil exactly while this rank is parked awaiting credits (read by
+	// the group's deadlock wrapper, see Build).
+	round    int
+	lastStep string
+	stall    *CreditStall
 }
 
 // Rank returns this handle's rank in the communicator.
@@ -243,6 +251,23 @@ func Build(p *sim.Proc, procs []*vmmc.Process, opts Options) ([]*Comm, error) {
 			c.out[s].base = base
 		}
 	}
+
+	// If the simulation ever wedges while any of this communicator's ranks
+	// is parked in a credit wait, annotate the engine's generic deadlock
+	// report with the stuck ranks' protocol state. The hook only runs on an
+	// actual stall, so healthy runs are untouched.
+	eng.AddDeadlockWrapper(func(err error) error {
+		var stalls []CreditStall
+		for _, c := range comms {
+			if c.stall != nil {
+				stalls = append(stalls, *c.stall)
+			}
+		}
+		if len(stalls) == 0 {
+			return err
+		}
+		return &CreditDeadlockError{Stalls: stalls, Err: err}
+	})
 	return comms, nil
 }
 
@@ -310,9 +335,17 @@ func (c *Comm) sendPayload(p *sim.Proc, peer int, data []byte) error {
 		chunk := data[off:end]
 		if out.sent-out.credits >= g.opts.Slots {
 			g.m.creditStalls.Add(1)
+			c.stall = &CreditStall{
+				Rank:  c.rank,
+				Peer:  peer,
+				Round: c.round,
+				Step:  c.lastStep,
+				Tag:   g.tag(peer, c.rank),
+			}
 			for out.sent-out.credits >= g.opts.Slots {
 				c.cond.Wait(p)
 			}
+			c.stall = nil
 		}
 		slot := out.sent % g.opts.Slots
 		// The staging write models sending straight out of user memory
@@ -378,8 +411,11 @@ func (c *Comm) span(name string) func() {
 	return func() { eng.TraceEnd(c.comp, "coll", name) }
 }
 
-// step emits a per-phase instant (one per algorithm round, not per chunk).
+// step emits a per-phase instant (one per algorithm round, not per chunk)
+// and records the round position for credit-stall diagnostics.
 func (c *Comm) step(name string) {
+	c.round++
+	c.lastStep = name
 	eng := c.proc.Node.Eng
 	if eng.Trace().Enabled() {
 		eng.TraceInstant(c.comp, "coll", name)

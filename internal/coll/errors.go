@@ -1,0 +1,52 @@
+package coll
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrCreditDeadlock is the sentinel matched by errors.Is when a collective
+// wedged in the credited slot protocol: one or more ranks were parked in
+// sendPayload waiting for credits that can never arrive. The concrete
+// error is a *CreditDeadlockError carrying the stuck ranks' state.
+var ErrCreditDeadlock = errors.New("coll: credit deadlock")
+
+// CreditStall identifies one rank parked in a credit wait: which peer it
+// is sending to, the collective round (c.step count) it stalled in, that
+// round's step name, and the channel tag the uncredited slots belong to.
+type CreditStall struct {
+	Rank  int
+	Peer  int
+	Round int
+	Step  string
+	Tag   uint32
+}
+
+func (s CreditStall) String() string {
+	return fmt.Sprintf("rank %d -> %d in round %d (%s, tag %#x)",
+		s.Rank, s.Peer, s.Round, s.Step, s.Tag)
+}
+
+// CreditDeadlockError wraps the simulator's generic parked-forever report
+// when the wedge includes ranks stuck in the credit protocol. It names
+// every stalled rank so the report points at the protocol cycle instead
+// of a bare process list. errors.Is(err, ErrCreditDeadlock) matches it;
+// Unwrap exposes the underlying sim deadlock error.
+type CreditDeadlockError struct {
+	Stalls []CreditStall
+	Err    error
+}
+
+func (e *CreditDeadlockError) Error() string {
+	parts := make([]string, len(e.Stalls))
+	for i, s := range e.Stalls {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("coll: credit deadlock: %d rank(s) stalled awaiting credits [%s]: %v",
+		len(e.Stalls), strings.Join(parts, "; "), e.Err)
+}
+
+func (e *CreditDeadlockError) Unwrap() error { return e.Err }
+
+func (e *CreditDeadlockError) Is(target error) bool { return target == ErrCreditDeadlock }

@@ -23,6 +23,24 @@ func blockRange(l, esz, n, b int) (off, length int) {
 	return lo, hi - lo
 }
 
+// pipeBytes is the credit-window capacity of one channel — Slots uncredited
+// chunks of SlotBytes each — rounded down to a multiple of align so reduce
+// sub-pieces stay element-aligned. A ring round that ships more than this
+// per block must interleave its send and receive in sub-rounds: two ranks
+// that each post a full block before draining the other's (the n=2 case,
+// where every rank is both its neighbor's sender and receiver) otherwise
+// exhaust both windows with neither side ever reaching its receive.
+func (c *Comm) pipeBytes(align int) int {
+	pipe := c.g.opts.Slots * c.g.opts.SlotBytes
+	if align > 1 {
+		pipe -= pipe % align
+		if pipe < align {
+			pipe = align
+		}
+	}
+	return pipe
+}
+
 // bcastChain pipelines buf down the chain root → root+1 → … → root-1,
 // one slot-sized chunk at a time: while a rank forwards chunk k, chunk
 // k+1 is already arriving behind it.
@@ -71,17 +89,31 @@ func (c *Comm) reduceScatterRing(p *simProc, op Op, dt DType, acc []byte) error 
 		soff, slen := blockRange(len(acc), esz, n, sb)
 		roff, rlen := blockRange(len(acc), esz, n, rb)
 		c.step("allreduce_ring_rs")
-		if slen > 0 {
-			if err := c.sendPayload(p, right, acc[soff:soff+slen]); err != nil {
-				return err
+		// Blocks larger than the credit window are exchanged in interleaved
+		// sub-rounds (see pipeBytes); a block that fits runs the legacy
+		// send-whole-block-then-receive sequence unchanged.
+		pipe := c.pipeBytes(esz)
+		for so := 0; so < slen || so < rlen; so += pipe {
+			if so < slen {
+				sn := slen - so
+				if sn > pipe {
+					sn = pipe
+				}
+				if err := c.sendPayload(p, right, acc[soff+so:soff+so+sn]); err != nil {
+					return err
+				}
 			}
-		}
-		if rlen > 0 {
-			if err := c.recvPayload(p, left, tmp[roff:roff+rlen]); err != nil {
-				return err
-			}
-			if err := c.combine(p, op, dt, acc[roff:roff+rlen], tmp[roff:roff+rlen]); err != nil {
-				return err
+			if so < rlen {
+				rn := rlen - so
+				if rn > pipe {
+					rn = pipe
+				}
+				if err := c.recvPayload(p, left, tmp[roff+so:roff+so+rn]); err != nil {
+					return err
+				}
+				if err := c.combine(p, op, dt, acc[roff+so:roff+so+rn], tmp[roff+so:roff+so+rn]); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -104,14 +136,25 @@ func (c *Comm) allReduceRing(p *simProc, op Op, dt DType, acc []byte) error {
 		soff, slen := blockRange(len(acc), esz, n, sb)
 		roff, rlen := blockRange(len(acc), esz, n, rb)
 		c.step("allreduce_ring_ag")
-		if slen > 0 {
-			if err := c.sendPayload(p, right, acc[soff:soff+slen]); err != nil {
-				return err
+		pipe := c.pipeBytes(esz)
+		for so := 0; so < slen || so < rlen; so += pipe {
+			if so < slen {
+				sn := slen - so
+				if sn > pipe {
+					sn = pipe
+				}
+				if err := c.sendPayload(p, right, acc[soff+so:soff+so+sn]); err != nil {
+					return err
+				}
 			}
-		}
-		if rlen > 0 {
-			if err := c.recvPayload(p, left, acc[roff:roff+rlen]); err != nil {
-				return err
+			if so < rlen {
+				rn := rlen - so
+				if rn > pipe {
+					rn = pipe
+				}
+				if err := c.recvPayload(p, left, acc[roff+so:roff+so+rn]); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -166,11 +209,16 @@ func (c *Comm) allGatherRing(p *simProc, in, out []byte) error {
 		sb := mod(c.rank-t, n)
 		rb := mod(c.rank-t-1, n)
 		c.step("allgather_ring")
-		if blk > 0 {
-			if err := c.sendPayload(p, right, out[sb*blk:(sb+1)*blk]); err != nil {
+		pipe := c.pipeBytes(1)
+		for so := 0; so < blk; so += pipe {
+			sn := blk - so
+			if sn > pipe {
+				sn = pipe
+			}
+			if err := c.sendPayload(p, right, out[sb*blk+so:sb*blk+so+sn]); err != nil {
 				return err
 			}
-			if err := c.recvPayload(p, left, out[rb*blk:(rb+1)*blk]); err != nil {
+			if err := c.recvPayload(p, left, out[rb*blk+so:rb*blk+so+sn]); err != nil {
 				return err
 			}
 		}

@@ -178,6 +178,16 @@ func (b *Board) SendPacketClass(p *sim.Proc, route []byte, payload []byte, class
 	if b.linksched != nil {
 		b.linksched.charge(p, class, len(payload))
 	}
+	return b.SendPacketCharged(p, route, payload, class)
+}
+
+// SendPacketCharged injects a packet whose pacing charge the caller has
+// already committed (via LinkScheduler.TryCharge) or that the caller
+// deliberately exempts from pacing. The LCP's scheduler uses this path:
+// it gates dispatch on class eligibility and commits the charge without
+// sleeping, so the shared control loop never blocks inside an injection
+// on one class's bandwidth deficit.
+func (b *Board) SendPacketCharged(p *sim.Proc, route []byte, payload []byte, class int) error {
 	if b.reliable != nil {
 		return b.reliable.send(p, route, payload, class)
 	}

@@ -51,6 +51,13 @@ type linkClass struct {
 	// the pacer actually held back and for how long.
 	throttles   int64
 	throttledNS sim.Time
+
+	// An open deferral episode: the LCP declared the class not-ready at
+	// deferredAt and is serving other work (or parked) until nextAt. The
+	// episode closes — folding its duration into throttledNS — at the
+	// class's next committed charge.
+	deferred   bool
+	deferredAt sim.Time
 }
 
 // ClassStats reports how often and how long sends in the given class were
@@ -91,6 +98,70 @@ func (b *Board) ConfigureLinkClass(class int, bytesPerSec float64, burstBytes in
 // LinkScheduler returns the board's per-class pacer, nil until a class
 // is configured.
 func (b *Board) LinkScheduler() *LinkScheduler { return b.linksched }
+
+// EligibleAt reports whether the class carries a bandwidth budget and,
+// if so, the earliest virtual time an injection in it may commit without
+// overdrawing. Unbudgeted classes are always eligible. The query is
+// pure: no attribution, no state change.
+func (ls *LinkScheduler) EligibleAt(class int) (at sim.Time, limited bool) {
+	lc := ls.classes[class]
+	if lc == nil {
+		return 0, false
+	}
+	return lc.nextAt, true
+}
+
+// Defer opens a deferral episode for a class the caller just declared
+// not-ready: the skip is counted as one throttle, and the time until the
+// class's next committed charge will be attributed as throttled time.
+// Calling Defer again while an episode is open is a no-op, as is calling
+// it for an unbudgeted or currently-eligible class.
+func (ls *LinkScheduler) Defer(class int) {
+	lc := ls.classes[class]
+	if lc == nil || lc.deferred {
+		return
+	}
+	now := ls.eng.Now()
+	if lc.nextAt <= now {
+		return
+	}
+	lc.deferred = true
+	lc.deferredAt = now
+	ls.Throttles++
+	lc.throttles++
+}
+
+// TryCharge commits an n-byte injection in the given class if the class
+// is eligible now, advancing its virtual time without ever sleeping; it
+// reports false — charging nothing — when the class is still in deficit.
+// A successful charge closes any open deferral episode, attributing the
+// elapsed deferral to the class exactly as the blocking path attributes
+// its sleep.
+func (ls *LinkScheduler) TryCharge(class, n int) bool {
+	lc := ls.classes[class]
+	if lc == nil || n <= 0 {
+		return true
+	}
+	now := ls.eng.Now()
+	if lc.nextAt > now {
+		return false
+	}
+	if floor := now - lc.burst; lc.nextAt < floor {
+		lc.nextAt = floor
+	}
+	lc.nextAt += sim.Time(float64(n) / lc.bytesPerSec * float64(sim.Second))
+	if lc.deferred {
+		d := now - lc.deferredAt
+		lc.deferred = false
+		ls.ThrottledTime += d
+		lc.throttledNS += d
+		ls.mThrottleNS.Add(int64(d))
+		if d > 0 && ls.eng.Trace().Enabled() {
+			ls.eng.TraceCounter(ls.comp, "qos", "qos_throttle_ns", float64(d))
+		}
+	}
+	return true
+}
 
 // charge paces one n-byte injection in the given class, sleeping the
 // calling process for the class's refill deficit. Classes without a

@@ -172,6 +172,12 @@ type Engine struct {
 	obsCanceled    *trace.Gauge
 	obsDispatched  *trace.Counter
 	obsCompactions *trace.Counter
+
+	// deadlockWraps are applied, in registration order, to the stall
+	// error checkStall constructs. Protocol layers register one to turn
+	// the engine's generic parked-forever report into a typed error
+	// naming the protocol state that wedged (see AddDeadlockWrapper).
+	deadlockWraps []func(error) error
 }
 
 // NewEngine returns an engine with the clock at zero and no events.
@@ -517,8 +523,22 @@ func (e *Engine) checkStall() error {
 		return nil
 	}
 	sort.Strings(parked)
-	return fmt.Errorf("sim: deadlock at %v: %d process(es) parked forever: %v",
+	err := fmt.Errorf("sim: deadlock at %v: %d process(es) parked forever: %v",
 		e.now, len(parked), parked)
+	for _, wrap := range e.deadlockWraps {
+		err = wrap(err)
+	}
+	return err
+}
+
+// AddDeadlockWrapper registers a hook that may annotate the deadlock error
+// checkStall reports. Each wrapper receives the error as built so far (the
+// engine's generic report, possibly already wrapped by earlier hooks) and
+// returns either the same error — when it has nothing to add — or a typed
+// error wrapping it. Wrappers run only when the simulation has actually
+// wedged, never on a healthy run, so registering one is free.
+func (e *Engine) AddDeadlockWrapper(wrap func(error) error) {
+	e.deadlockWraps = append(e.deadlockWraps, wrap)
 }
 
 // Pending reports the number of scheduled (non-canceled) events. It is

@@ -151,8 +151,13 @@ func NewManager(c *vmmc.Cluster) *Manager {
 
 // SetQoS toggles the isolation machinery cluster-wide: LCP short-send
 // preemption on every node, and per-tenant link bandwidth budgets for
-// tenants that declare a rate. Off (the default) reproduces the legacy
-// first-come-first-served behavior exactly.
+// tenants that declare a rate. Budgets are enforced by pacer-aware
+// scheduling: a tenant's class in pacing deficit is treated as
+// not-ready and skipped — the LCP keeps serving other tenants' work
+// and parks only when every runnable class is deficient — so one
+// tenant overdrawing its budget never sleeps the shared control
+// program or adds latency to its neighbors. Off (the default)
+// reproduces the legacy first-come-first-served behavior exactly.
 func (m *Manager) SetQoS(on bool) {
 	m.qos = on
 	for _, n := range m.Cluster.Nodes {

@@ -35,7 +35,19 @@ type LCP struct {
 	work *sim.Cond
 	rxq  []rxItem
 
-	curJob *sendJob
+	// jobs are the long sends in progress, at most one per traffic
+	// class (the per-class generalization of the paper's one-long-send
+	// design point). jobPtr round-robins dispatch across them; a job
+	// whose class is in pacing deficit is treated as not-ready and
+	// skipped, so a heavily paced tenant never blocks the shared
+	// control program. Without configured bandwidth budgets at most one
+	// job ever exists and dispatch degenerates to the legacy behavior.
+	jobs   []*sendJob
+	jobPtr int
+
+	// stagingFree lists the SRAM staging buffers not currently held by
+	// a staged or in-flight chunk; jobs draw from it LIFO.
+	stagingFree []int
 
 	// preemptShort, when enabled (tenant QoS), lets the LCP serve other
 	// processes' pending *short* sends between the chunks of a long send
@@ -233,6 +245,9 @@ func newLCP(n *Node, routes myrinet.RouteTable) (*LCP, error) {
 			return nil, err
 		}
 	}
+	// LIFO order with buffer 0 on top, so a lone job alternates 0,1,0,1
+	// exactly as the historical double-buffer index did.
+	l.stagingFree = []int{l.stagingOff[1], l.stagingOff[0]}
 	if l.recvOff, err = sram.Alloc(mem.PageSize, "staging-recv"); err != nil {
 		return nil, err
 	}
@@ -276,7 +291,9 @@ func (l *LCP) teardown() {
 	}
 	sram.Free(l.recvOff)
 	sram.Free(l.scratchOff)
-	l.curJob = nil
+	l.jobs = nil
+	l.jobPtr = 0
+	l.stagingFree = nil
 	l.rxq = nil
 	l.redirects = make(map[uint32]*redirectRec)
 	l.arrivedHW = make(map[uint32]int)
@@ -363,30 +380,225 @@ func (l *LCP) nodeForRoute(route []byte) (int, bool) {
 	return -1, false
 }
 
-// hasWork checks for runnable work without charging time (the cost of
-// discovering work is charged by the handlers and the queue scan).
-func (l *LCP) hasWork() bool {
-	if len(l.rxq) > 0 {
-		return true
+// classEligible reports whether an injection in the class may commit
+// now; when it may not, at is the earliest eligibility instant.
+func (l *LCP) classEligible(class int) (eligible bool, at sim.Time) {
+	ls := l.node.Board.LinkScheduler()
+	if ls == nil {
+		return true, 0
 	}
-	if j := l.curJob; j != nil {
-		if len(j.staged) > 0 || j.done() {
-			return true
-		}
-		if !j.dmaBusy && !j.tlbWait && j.nextOff < j.total {
-			return true
-		}
-		if l.preemptShort && l.pendingShortOther(j.st) {
-			return true
-		}
-		return false
+	at, limited := ls.EligibleAt(class)
+	if !limited || at <= l.node.Eng.Now() {
+		return true, 0
 	}
-	for _, pid := range l.scan {
-		if l.states[pid].sq.pending() > 0 {
+	return false, at
+}
+
+// deferClass records a not-ready skip with the pacer for attribution
+// (idempotent per deficit episode).
+func (l *LCP) deferClass(class int) {
+	if ls := l.node.Board.LinkScheduler(); ls != nil {
+		ls.Defer(class)
+	}
+}
+
+// sendPaced injects a dispatched packet, committing its pacing charge
+// without sleeping. Dispatch already gated on class eligibility and the
+// pacer's virtual time only recedes as real time passes, so the
+// non-blocking charge succeeds except when another send in the same
+// class charged within the same dispatch iteration; the blocking legacy
+// path then keeps the pacer's accounting exact rather than reordering
+// the queue.
+func (l *LCP) sendPaced(p *simProc, route, payload []byte, class int) error {
+	ls := l.node.Board.LinkScheduler()
+	if ls == nil || ls.TryCharge(class, len(payload)) {
+		return l.node.Board.SendPacketCharged(p, route, payload, class)
+	}
+	return l.node.Board.SendPacketClass(p, route, payload, class)
+}
+
+// ownsJob reports whether the process has a long send in progress.
+func (l *LCP) ownsJob(st *lcpProcState) bool {
+	for _, j := range l.jobs {
+		if j.st == st {
 			return true
 		}
 	}
 	return false
+}
+
+// classHasJob reports whether the traffic class already has a long send
+// in progress.
+func (l *LCP) classHasJob(class int) bool {
+	for _, j := range l.jobs {
+		if j.st.limits.Class == class {
+			return true
+		}
+	}
+	return false
+}
+
+// anyDeficit reports whether any active job's class is in pacing
+// deficit — the condition under which the dispatcher may look past the
+// long jobs for other classes' queued requests. Always false without
+// configured budgets, which keeps the legacy never-scan-while-sending
+// discipline byte-identical for unpaced runs.
+func (l *LCP) anyDeficit() bool {
+	for _, j := range l.jobs {
+		if ok, _ := l.classEligible(j.st.limits.Class); !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// jobRunnable reports whether stepping the job now would progress it:
+// it is finished (needs retiring), has a staged chunk to inject, or can
+// start its next chunk's host DMA. A job whose class is in pacing
+// deficit is not-ready and reports false — the deficit-skip at the
+// heart of pacer-aware scheduling.
+func (l *LCP) jobRunnable(j *sendJob) bool {
+	if j.done() {
+		return true
+	}
+	if j.failed {
+		return len(j.staged) > 0 // only staged chunks left to discard
+	}
+	if len(j.staged) > 0 {
+		ok, _ := l.classEligible(j.st.limits.Class)
+		return ok
+	}
+	if !j.dmaBusy && !j.tlbWait && j.nextOff < j.total && len(l.stagingFree) > 0 {
+		ok, _ := l.classEligible(j.st.limits.Class)
+		return ok
+	}
+	return false
+}
+
+// pickJob selects the next serviceable job round-robin, recording a
+// deferral for any job skipped on a pacing deficit. nil means no job
+// can progress right now.
+func (l *LCP) pickJob() *sendJob {
+	n := len(l.jobs)
+	for i := 0; i < n; i++ {
+		j := l.jobs[(l.jobPtr+i)%n]
+		if l.jobRunnable(j) {
+			l.jobPtr = (l.jobPtr + i + 1) % n
+			return j
+		}
+		if !j.done() && !j.failed {
+			if ok, _ := l.classEligible(j.st.limits.Class); !ok {
+				l.deferClass(j.st.limits.Class)
+			}
+		}
+	}
+	return nil
+}
+
+// removeJob retires a finished job from the dispatch ring.
+func (l *LCP) removeJob(j *sendJob) {
+	for i, jj := range l.jobs {
+		if jj == j {
+			l.jobs = append(l.jobs[:i], l.jobs[i+1:]...)
+			if l.jobPtr > i {
+				l.jobPtr--
+			}
+			break
+		}
+	}
+	if l.jobPtr >= len(l.jobs) {
+		l.jobPtr = 0
+	}
+}
+
+// dropStaged discards a job's staged chunks, returning their staging
+// buffers to the free list.
+func (l *LCP) dropStaged(j *sendJob) {
+	for _, c := range j.staged {
+		l.stagingFree = append(l.stagingFree, c.sramOff)
+	}
+	j.staged = nil
+}
+
+// requestReady is the dispatch gate for a queue-head request: its class
+// must not be in pacing deficit (skips are recorded as deferrals), and
+// a long request must wait while its class already has a job in flight
+// (one long send per class). Unbudgeted classes with no job are always
+// ready, matching the legacy scan.
+func (l *LCP) requestReady(st *lcpProcState, e sqEntry) bool {
+	if e.inline == nil && l.classHasJob(st.limits.Class) {
+		return false
+	}
+	ok, _ := l.classEligible(st.limits.Class)
+	if !ok {
+		l.deferClass(st.limits.Class)
+	}
+	return ok
+}
+
+// queuedRequestReady mirrors scanQueues' accept test without charging
+// time (hasWork's discovery contract).
+func (l *LCP) queuedRequestReady() bool {
+	for _, pid := range l.scan {
+		st := l.states[pid]
+		if e, ok := st.sq.peek(); ok && l.requestReady(st, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasWork checks for runnable work without charging time (the cost of
+// discovering work is charged by the handlers and the queue scan).
+// Work whose class is in pacing deficit does not count: the main loop
+// parks on it with a timed wait at the class's eligibility instant
+// instead of spinning.
+func (l *LCP) hasWork() bool {
+	if len(l.rxq) > 0 {
+		return true
+	}
+	for _, j := range l.jobs {
+		if l.jobRunnable(j) {
+			return true
+		}
+	}
+	if len(l.jobs) > 0 {
+		if l.preemptShort && l.pendingShortReady() {
+			return true
+		}
+		if !l.anyDeficit() {
+			return false
+		}
+	}
+	return l.queuedRequestReady()
+}
+
+// nextPacerWake is the earliest future eligibility instant among the
+// classes whose pending work the dispatcher is skipping on a pacing
+// deficit; ok=false when no deficit is pending (any work arriving then
+// rings l.work instead). Each deficient class gets a deferral episode
+// opened (idempotently): parking on a class's deficit is held-back time
+// and must appear in its ClassStats exactly as the old blocking pacer's
+// sleeps did, even when the dispatcher never reached a skip.
+func (l *LCP) nextPacerWake() (wake sim.Time, ok bool) {
+	consider := func(class int) {
+		if eligible, at := l.classEligible(class); !eligible {
+			l.deferClass(class)
+			if !ok || at < wake {
+				wake, ok = at, true
+			}
+		}
+	}
+	for _, j := range l.jobs {
+		consider(j.st.limits.Class)
+	}
+	for _, pid := range l.scan {
+		st := l.states[pid]
+		if _, has := st.sq.peek(); has {
+			consider(st.limits.Class)
+		}
+	}
+	return wake, ok
 }
 
 // run is the LCP main loop.
@@ -394,11 +606,18 @@ func (l *LCP) run(p *simProc) {
 	prof := l.node.Prof
 	for {
 		for !l.hasWork() {
-			l.work.Wait(p)
+			// All runnable work (if any) sits in pacing deficit: park
+			// until the earliest class turns eligible, or until new work
+			// rings the flag — whichever comes first.
+			if wake, ok := l.nextPacerWake(); ok && wake > p.Now() {
+				l.work.WaitTimeout(p, wake-p.Now())
+			} else {
+				l.work.Wait(p)
+			}
 		}
 		// In the tight sending loop (§5.3) the LCP bypasses the full main
 		// loop while a long send is in progress and no packets arrive.
-		tight := prof.TightSendLoop && l.curJob != nil && len(l.rxq) == 0
+		tight := prof.TightSendLoop && len(l.jobs) > 0 && len(l.rxq) == 0
 		if tight {
 			l.stats.TightLoopIterations++
 			l.m.tightIters.Add(1)
@@ -413,7 +632,7 @@ func (l *LCP) run(p *simProc) {
 		// "unexpected, external events, such as the arrival of incoming
 		// data packets" (§5.3).
 		if len(l.rxq) > 0 {
-			if l.curJob != nil {
+			if len(l.jobs) > 0 {
 				// Abandoning the tight sending loop: save the send state,
 				// run the main loop, come back (§5.3).
 				l.node.Eng.TraceInstant(l.comp, "lcp", "tight_loop_abandoned")
@@ -424,12 +643,25 @@ func (l *LCP) run(p *simProc) {
 			l.handleRecv(p, item)
 			continue
 		}
-		if l.curJob != nil {
+		if len(l.jobs) > 0 {
 			if l.preemptShort {
 				l.serveShortPreempt(p)
 			}
-			if l.curJob != nil {
-				l.stepJob(p)
+			// Pick after the preempt scan: a host DMA that completed (or a
+			// pacing deficit that opened) while the short was served is
+			// visible to this iteration's dispatch, as it was when the
+			// legacy loop stepped its single job here unconditionally.
+			j := l.pickJob()
+			if j != nil {
+				l.stepJob(p, j)
+			} else if l.anyDeficit() {
+				// Every long job is pacing-deficient (or waiting on its
+				// host DMA): look past them for other classes' queued
+				// requests, so one paced tenant cannot stall co-tenants
+				// through the shared control program.
+				if st, e, ok := l.scanQueues(p); ok {
+					l.startRequest(p, st, e)
+				}
 			}
 			continue
 		}
@@ -439,42 +671,51 @@ func (l *LCP) run(p *simProc) {
 	}
 }
 
-// pendingShortOther reports whether any process other than owner has a
-// short send at its queue head, without charging time (hasWork's
-// discovery contract; the preempt scan pays the poll costs).
-func (l *LCP) pendingShortOther(owner *lcpProcState) bool {
+// pendingShortReady reports whether a short send the preempt scan would
+// accept is pending — a queue-head short from a process with no long
+// send in flight, in a class that is not pacing-deficient — without
+// charging time (hasWork's discovery contract; the preempt scan pays
+// the poll costs).
+func (l *LCP) pendingShortReady() bool {
 	for _, pid := range l.scan {
 		st := l.states[pid]
-		if st == owner {
+		if l.ownsJob(st) {
 			continue
 		}
 		if e, ok := st.sq.peek(); ok && e.inline != nil {
-			return true
+			if eligible, _ := l.classEligible(st.limits.Class); eligible {
+				return true
+			}
 		}
 	}
 	return false
 }
 
 // serveShortPreempt serves at most one pending short send from a process
-// other than the current long job's owner — the QoS escape hatch from
-// the §5.3 tight loop's head-of-line blocking, where a 128 KB transfer
+// with no long send in flight — the QoS escape hatch from the §5.3
+// tight loop's head-of-line blocking, where a 128 KB transfer
 // monopolizes the control program for milliseconds while a co-resident
 // tenant's 60-byte RPC waits. Only queue heads are taken, so each
 // process's own posting order is never reordered; long sends from other
-// queues stay queued (one long job at a time remains the design point).
+// queues stay queued (one long job per class remains the design point).
+// A short whose own class is in pacing deficit is not-ready and skipped,
+// exactly like a deficient long job.
 func (l *LCP) serveShortPreempt(p *simProc) {
-	j := l.curJob
 	nq := len(l.scan)
 	for i := 0; i < nq; i++ {
 		idx := (l.scanPtr + i) % nq
 		st := l.states[l.scan[idx]]
-		if st == j.st {
+		if l.ownsJob(st) {
 			continue
 		}
 		p.Sleep(l.node.Prof.LCPScanPerQueue)
 		l.stats.QueueScansTotalDistance++
 		e, ok := st.sq.peek()
 		if !ok || e.inline == nil {
+			continue
+		}
+		if eligible, _ := l.classEligible(st.limits.Class); !eligible {
+			l.deferClass(st.limits.Class)
 			continue
 		}
 		st.sq.take()
@@ -492,7 +733,9 @@ func (l *LCP) SetShortPreempt(on bool) { l.preemptShort = on }
 
 // scanQueues polls the per-process send queues round-robin, charging the
 // per-queue poll cost — with many registered senders, picking up a request
-// gets slower (§6), unlike SHRIMP's hardware dispatch.
+// gets slower (§6), unlike SHRIMP's hardware dispatch. Heads that fail
+// the requestReady gate (pacing deficit, or a long for a class already
+// sending) are left queued.
 func (l *LCP) scanQueues(p *simProc) (*lcpProcState, sqEntry, bool) {
 	nq := len(l.scan)
 	for i := 0; i < nq; i++ {
@@ -500,14 +743,17 @@ func (l *LCP) scanQueues(p *simProc) (*lcpProcState, sqEntry, bool) {
 		st := l.states[l.scan[idx]]
 		p.Sleep(l.node.Prof.LCPScanPerQueue)
 		l.stats.QueueScansTotalDistance++
-		if e, ok := st.sq.take(); ok {
-			if eng := l.node.Eng; eng.Trace().Enabled() {
-				eng.TraceCounter(l.comp, "lcp",
-					fmt.Sprintf("sendq%d_depth", st.pid), float64(st.sq.pending()))
-			}
-			l.scanPtr = (idx + 1) % nq
-			return st, e, true
+		e, ok := st.sq.peek()
+		if !ok || !l.requestReady(st, e) {
+			continue
 		}
+		st.sq.take()
+		if eng := l.node.Eng; eng.Trace().Enabled() {
+			eng.TraceCounter(l.comp, "lcp",
+				fmt.Sprintf("sendq%d_depth", st.pid), float64(st.sq.pending()))
+		}
+		l.scanPtr = (idx + 1) % nq
+		return st, e, true
 	}
 	return nil, sqEntry{}, false
 }
@@ -600,11 +846,11 @@ func (l *LCP) handleShort(p *simProc, st *lcpProcState, e sqEntry) {
 		// safe in the queue entry, so completion precedes injection and
 		// injection cannot fail (§4.2/§4.5).
 		l.writeCompletion(p, st, e.seq, ceOK)
-		l.node.Board.SendPacketClass(p, route, payload, st.limits.Class)
+		l.sendPaced(p, route, payload, st.limits.Class)
 	} else {
 		// With the link layer the injection can fail (retransmit budget
 		// exhausted); completion follows it so the error is reportable.
-		if err := l.node.Board.SendPacketClass(p, route, payload, st.limits.Class); err != nil {
+		if err := l.sendPaced(p, route, payload, st.limits.Class); err != nil {
 			l.writeCompletion(p, st, e.seq, ceUnreachable)
 			return
 		}

@@ -25,7 +25,6 @@ type sendJob struct {
 	sentDMA int // bytes whose host DMA completed
 	injOff  int // bytes injected onto the wire
 
-	slot    int // staging buffer the next DMA fills
 	dmaBusy bool
 	tlbWait bool
 	staged  []stagedChunk // chunks ready to inject (<= 2)
@@ -46,10 +45,13 @@ func (j *sendJob) done() bool {
 	return (j.failed || (j.sentDMA == j.total && j.injOff == j.total)) && len(j.staged) == 0 && !j.dmaBusy
 }
 
-// startLong validates a long-send request and turns it into the current
-// job. Only one long send is in flight per interface; further requests
-// wait in their send queues (the paper's design point: "only one request
-// can be posted for very long sends", §6).
+// startLong validates a long-send request and adds it to the dispatch
+// ring. Only one long send is in flight per traffic class; further
+// requests wait in their send queues (the paper's design point: "only
+// one request can be posted for very long sends", §6 — generalized
+// per-class so a pacing-deficient tenant's job cannot block another
+// tenant's). Without configured budgets the scan never starts a second
+// job, preserving the legacy one-job-per-interface behavior exactly.
 func (l *LCP) startLong(p *simProc, st *lcpProcState, e sqEntry) {
 	l.stats.SendsLong++
 	l.m.sendsLong.Add(1)
@@ -64,45 +66,57 @@ func (l *LCP) startLong(p *simProc, st *lcpProcState, e sqEntry) {
 		l.writeCompletion(p, st, e.seq, ceNoRoute)
 		return
 	}
-	l.curJob = &sendJob{
+	j := &sendJob{
 		st:       st,
 		e:        e,
 		destNode: destNode,
 		route:    route,
 		total:    e.length,
 	}
+	l.jobs = append(l.jobs, j)
 	l.node.Eng.TraceBegin(l.comp, "lcp", "long_send")
-	l.stepJob(p)
+	l.stepJob(p, j)
 }
 
-// stepJob advances the current job without blocking on the host DMA: it
-// starts the next chunk's host DMA asynchronously, then injects any staged
+// stepJob advances one job without blocking on the host DMA: it starts
+// the next chunk's host DMA asynchronously, then injects any staged
 // chunk (wire time overlaps the DMA). When neither is possible the LCP
 // returns to its wait loop until the DMA completion rings the work flag.
-func (l *LCP) stepJob(p *simProc) {
-	j := l.curJob
+// Injection is gated on the class's pacing eligibility — a job whose
+// class fell into deficit keeps its chunk staged and simply returns, to
+// be redispatched at the class's eligibility instant.
+func (l *LCP) stepJob(p *simProc, j *sendJob) {
 	prof := l.node.Prof
 
 	// Phase 1: keep the host DMA engine busy with the next chunk.
-	if !j.failed && !j.dmaBusy && !j.tlbWait && j.nextOff < j.total && len(j.staged) == 0 {
+	if !j.failed && !j.dmaBusy && !j.tlbWait && j.nextOff < j.total &&
+		len(j.staged) == 0 && len(l.stagingFree) > 0 {
 		l.startChunkDMA(p, j)
 	}
 
 	// A failed job discards anything still staged (including chunks whose
 	// host DMA completed after the failure) instead of injecting it.
 	if j.failed {
-		j.staged = nil
+		l.dropStaged(j)
 	}
 
 	// Phase 2: inject a staged chunk.
 	if len(j.staged) > 0 {
+		if eligible, _ := l.classEligible(j.st.limits.Class); !eligible {
+			// The class slipped into deficit since dispatch (a short in
+			// the same class charged this iteration): not-ready, leave
+			// the chunk staged.
+			l.deferClass(j.st.limits.Class)
+			return
+		}
 		c := j.staged[0]
 		j.staged = j.staged[1:]
 
 		// Start the following chunk's host DMA before injecting, so the
 		// two overlap (§4.5). Without the pipelining knob this is skipped
 		// and the DMA starts only on the next step, serializing.
-		if prof.PipelineChunks && !j.failed && !j.dmaBusy && !j.tlbWait && j.nextOff < j.total {
+		if prof.PipelineChunks && !j.failed && !j.dmaBusy && !j.tlbWait &&
+			j.nextOff < j.total && len(l.stagingFree) > 0 {
 			l.startChunkDMA(p, j)
 		}
 
@@ -147,12 +161,15 @@ func (l *LCP) stepJob(p *simProc) {
 			}
 		}
 		payload := append(hdr.encode(), l.node.Board.SRAM.Bytes(c.sramOff, c.n)...)
-		if err := l.node.Board.SendPacketClass(p, j.route, payload, j.st.limits.Class); err != nil {
+		// The chunk's bytes are copied into the packet above; its staging
+		// buffer is free for the next host DMA.
+		l.stagingFree = append(l.stagingFree, c.sramOff)
+		if err := l.sendPaced(p, j.route, payload, j.st.limits.Class); err != nil {
 			// Destination unreachable: abandon the transfer and report
 			// the typed failure (the remaining chunks would only burn
 			// the budget again).
 			j.failed = true
-			j.staged = nil
+			l.dropStaged(j)
 			if !j.completed {
 				l.writeCompletion(p, j.st, j.e.seq, ceUnreachable)
 				j.completed = true
@@ -171,7 +188,7 @@ func (l *LCP) stepJob(p *simProc) {
 	}
 
 	if j.done() {
-		l.curJob = nil
+		l.removeJob(j)
 		l.node.Eng.TraceEnd(l.comp, "lcp", "long_send")
 	}
 }
@@ -241,8 +258,11 @@ func (l *LCP) startChunkDMA(p *simProc, j *sendJob) {
 	}
 
 	srcPA := mem.PhysAddr(frame)<<mem.PageShift | mem.PhysAddr(src.Offset())
-	slot := l.stagingOff[j.slot]
-	j.slot ^= 1
+	if len(l.stagingFree) == 0 {
+		return // no staging buffer free; dispatch retries when one returns
+	}
+	slot := l.stagingFree[len(l.stagingFree)-1]
+	l.stagingFree = l.stagingFree[:len(l.stagingFree)-1]
 	j.nextOff += n
 	j.dmaBusy = true
 	last := j.nextOff == j.total
@@ -252,6 +272,7 @@ func (l *LCP) startChunkDMA(p *simProc, j *sendJob) {
 			// TLB pins are already released, so the DMA must not run.
 			j.dmaBusy = false
 			j.failed = true
+			l.stagingFree = append(l.stagingFree, slot)
 			l.work.Signal()
 			return
 		}

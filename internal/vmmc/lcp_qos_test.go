@@ -1,0 +1,272 @@
+package vmmc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// qosPair sets up the two-tenant-on-one-board shape the pacer-aware
+// scheduler exists for: a bulk sender in paced class 1 and a victim in
+// the unpaced default class, both on node 0, each with a window imported
+// from its own receiver process on node 1. Returns (bulk, victim) sender
+// processes and their import destinations.
+func qosPair(t *testing.T, p *simProc, c *Cluster) (bulk, victim *Process, bulkDest, victimDest ProxyAddr) {
+	t.Helper()
+	// Two tenants per board: partitioned budgets, as two full-size TLB
+	// carves do not fit one board's SRAM.
+	small := ProcLimits{SendQueueEntries: 8, TLBEntries: 256}
+	bulkLimits := small
+	bulkLimits.Class = 1
+
+	bulkRecv, err := c.Nodes[1].NewProcessWith(p, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimRecv, err := c.Nodes[1].NewProcessWith(p, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulk, err = c.Nodes[0].NewProcessWith(p, bulkLimits); err != nil {
+		t.Fatal(err)
+	}
+	if victim, err = c.Nodes[0].NewProcessWith(p, small); err != nil {
+		t.Fatal(err)
+	}
+
+	const winPages = 32
+	bulkBuf, err := bulkRecv.Malloc(winPages * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulkRecv.Export(p, 1, bulkBuf, winPages*mem.PageSize, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	victimBuf, err := victimRecv.Malloc(mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victimRecv.Export(p, 2, victimBuf, mem.PageSize, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if bulkDest, _, err = bulk.Import(p, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if victimDest, _, err = victim.Import(p, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	return bulk, victim, bulkDest, victimDest
+}
+
+// TestDeficitSkipServesUnpacedShorts pins the tentpole property: a bulk
+// class driven deep into pacing deficit must not delay another class's
+// short sends. Under the old blocking pacer the LCP proc itself slept
+// out each chunk's refill deficit (~2 ms per 4 KB page at 2 MB/s), so a
+// victim short posted meanwhile waited milliseconds; with deficit-skip
+// scheduling the LCP treats the bulk job as not-ready and serves the
+// short immediately.
+func TestDeficitSkipServesUnpacedShorts(t *testing.T) {
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		bulk, victim, bulkDest, victimDest := qosPair(t, p, c)
+		board := c.Nodes[0].Board
+		board.ConfigureLinkClass(1, 2e6, 8<<10) // 2 MB/s, 8 KB burst
+		c.Nodes[0].LCP.SetShortPreempt(true)
+
+		const bulkBytes = 24 * mem.PageSize
+		src, err := bulk.Malloc(bulkBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bulk.Write(src, make([]byte, bulkBytes)); err != nil {
+			t.Fatal(err)
+		}
+		bulkDone := false
+		c.Eng.Go("bulk-sender", func(bp *simProc) {
+			if err := bulk.SendMsgSync(bp, src, bulkDest, bulkBytes, SendOptions{}); err != nil {
+				t.Errorf("bulk long send: %v", err)
+			}
+			bulkDone = true
+		})
+
+		vsrc, err := victim.Malloc(mem.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := victim.Write(vsrc, []byte("hi")); err != nil {
+			t.Fatal(err)
+		}
+		// Let the bulk job burn its burst and fall into deficit, then post
+		// shorts spread across the (tens of ms) paced transfer. Shorts
+		// complete at post time, so SendMsgSync's return bounds the LCP's
+		// service latency.
+		p.Sleep(5 * sim.Millisecond)
+		const bound = 500 * sim.Microsecond
+		for i := 0; i < 8; i++ {
+			begin := p.Now()
+			if err := victim.SendMsgSync(p, vsrc, victimDest, 2, SendOptions{}); err != nil {
+				t.Fatalf("victim short %d: %v", i, err)
+			}
+			if lat := p.Now() - begin; lat > bound {
+				t.Errorf("victim short %d took %v, want < %v (paced bulk class delayed an unpaced short)",
+					i, lat, bound)
+			}
+			p.Sleep(2 * sim.Millisecond)
+		}
+		victim.SpinUntil(p, func() bool { return bulkDone })
+
+		ls := board.LinkScheduler()
+		throttles, throttledNS := ls.ClassStats(1)
+		if throttles == 0 || throttledNS == 0 {
+			t.Errorf("pacer never engaged: class 1 stats (%d, %v)", throttles, throttledNS)
+		}
+		// Attribution must reconcile: class 1 is the only budgeted class,
+		// so its per-class counters equal the scheduler totals.
+		if throttles != ls.Throttles || throttledNS != ls.ThrottledTime {
+			t.Errorf("attribution leak: class (%d, %v) vs total (%d, %v)",
+				throttles, throttledNS, ls.Throttles, ls.ThrottledTime)
+		}
+		if st := c.Nodes[0].LCP.Stats(); st.ShortPreempts == 0 {
+			t.Errorf("no short preempts recorded; victim shorts were not served between bulk chunks")
+		}
+	})
+}
+
+// TestAllClassesDeficientParksAndWakes drives the only runnable job's
+// class into deficit with nothing else to serve: the LCP must park and
+// wake at the class's eligibility instant — not busy-spin, not deadlock —
+// and the transfer must complete at the configured rate.
+func TestAllClassesDeficientParksAndWakes(t *testing.T) {
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		small := ProcLimits{SendQueueEntries: 8, TLBEntries: 256, Class: 1}
+		recv, err := c.Nodes[1].NewProcess(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		send, err := c.Nodes[0].NewProcessWith(p, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const total = 16 * mem.PageSize
+		buf, err := recv.Malloc(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := recv.Export(p, 1, buf, total, nil, false); err != nil {
+			t.Fatal(err)
+		}
+		dest, _, err := send.Import(p, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const rate = 4e6 // bytes/sec
+		const burst = 8 << 10
+		c.Nodes[0].Board.ConfigureLinkClass(1, rate, burst)
+
+		src, err := send.Malloc(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := send.Write(src, make([]byte, total)); err != nil {
+			t.Fatal(err)
+		}
+		lcp := c.Nodes[0].LCP
+		itersBefore := lcp.Stats().MainLoopIterations + lcp.Stats().TightLoopIterations
+		begin := p.Now()
+		if err := send.SendMsgSync(p, src, dest, total, SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := p.Now() - begin
+		iters := lcp.Stats().MainLoopIterations + lcp.Stats().TightLoopIterations - itersBefore
+
+		// The pacer must have stretched the transfer to roughly the
+		// configured rate: everything past the burst pays refill time.
+		// Completion is reported before the final chunk's injection, so
+		// the floor excludes one page's worth of deficit.
+		floor := sim.Time(float64(total-burst-mem.PageSize) / rate * float64(sim.Second))
+		if elapsed < floor {
+			t.Errorf("paced %d-byte send finished in %v, want >= %v at %g B/s", total, elapsed, floor, rate)
+		}
+		// Parking, not polling: each of the 16 chunks needs a handful of
+		// loop iterations (DMA completion, eligibility wake, injection); a
+		// scheduler spinning through multi-millisecond deficits would burn
+		// orders of magnitude more.
+		if iters > 500 {
+			t.Errorf("paced send took %d LCP loop iterations; the scheduler appears to spin instead of parking", iters)
+		}
+		ls := c.Nodes[0].Board.LinkScheduler()
+		throttles, throttledNS := ls.ClassStats(1)
+		if throttles == 0 || throttledNS == 0 {
+			t.Errorf("pacer never engaged: class 1 stats (%d, %v)", throttles, throttledNS)
+		}
+		// Parked deferral time must be attributed: the transfer spent
+		// nearly all its stretched duration waiting on eligibility.
+		if throttledNS < elapsed/2 {
+			t.Errorf("throttled time %v does not account for the paced wait (elapsed %v)", throttledNS, elapsed)
+		}
+		if throttles != ls.Throttles || throttledNS != ls.ThrottledTime {
+			t.Errorf("attribution leak: class (%d, %v) vs total (%d, %v)",
+				throttles, throttledNS, ls.Throttles, ls.ThrottledTime)
+		}
+	})
+}
+
+// TestPacedShortsDeferredNotBlocking covers the short-send half of
+// deficit-skip: shorts in a paced class that is in deficit are deferred
+// (the LCP stays live for other work) and still complete once the class
+// refills.
+func TestPacedShortsDeferredNotBlocking(t *testing.T) {
+	testCluster(t, 2, func(p *simProc, c *Cluster) {
+		bulk, victim, bulkDest, victimDest := qosPair(t, p, c)
+		board := c.Nodes[0].Board
+		board.ConfigureLinkClass(1, 1e6, 2<<10) // 1 MB/s, 2 KB burst
+		c.Nodes[0].LCP.SetShortPreempt(true)
+
+		// The paced tenant posts a burst of shorts that overdraws its
+		// budget several times over.
+		src, err := bulk.Malloc(mem.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bulk.Write(src, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		const shorts = 40 // 40×128 B headers+payloads ≫ 2 KB burst
+		sent := 0
+		c.Eng.Go("paced-shorts", func(bp *simProc) {
+			for i := 0; i < shorts; i++ {
+				if err := bulk.SendMsgSync(bp, src, bulkDest+ProxyAddr(i%8), 100, SendOptions{}); err != nil {
+					t.Errorf("paced short %d: %v", i, err)
+					return
+				}
+				sent++
+			}
+		})
+
+		vsrc, err := victim.Malloc(mem.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := victim.Write(vsrc, []byte{2}); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Millisecond) // paced tenant is now deep in deficit
+		const bound = 500 * sim.Microsecond
+		for i := 0; i < 4; i++ {
+			begin := p.Now()
+			if err := victim.SendMsgSync(p, vsrc, victimDest, 1, SendOptions{}); err != nil {
+				t.Fatalf("victim short %d: %v", i, err)
+			}
+			if lat := p.Now() - begin; lat > bound {
+				t.Errorf("victim short %d took %v, want < %v (deficient class blocked the queue scan)",
+					i, lat, bound)
+			}
+			p.Sleep(sim.Millisecond)
+		}
+		victim.SpinUntil(p, func() bool { return sent == shorts })
+		if n, d := board.LinkScheduler().ClassStats(1); n == 0 || d == 0 {
+			t.Errorf("pacer never engaged: class 1 stats (%d, %v)", n, d)
+		}
+	})
+}

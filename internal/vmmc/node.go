@@ -269,10 +269,12 @@ func (n *Node) KillProcess(pid int) {
 	proc.dead = true
 	st := proc.lcpState
 	st.gone = true
-	if j := n.LCP.curJob; j != nil && j.st == st {
-		j.failed = true
-		j.completed = true
-		j.staged = nil
+	for _, j := range n.LCP.jobs {
+		if j.st == st {
+			j.failed = true
+			j.completed = true
+			n.LCP.dropStaged(j)
+		}
 	}
 	n.Daemon.scrubProcess(proc)
 	frames := st.tlb.InvalidateAll()
