@@ -23,6 +23,10 @@ var (
 	tenantCalls = flag.String("tenant-calls", "", "tenantsweep victim vRPC calls per cell (default 32)")
 	tenantRates = flag.String("tenant-rates", "", "tenantsweep qos=on aggressor budgets in bytes/sec, comma-separated (default 5e6,10e6,20e6)")
 	tenantOut   = flag.String("tenant-out", "", "tenantsweep: write the BENCH_tenant.json artifact here")
+	serveRates  = flag.String("serve-rates", "", "servesweep total offered loads in req/s, comma-separated (default 15000,30000,60000)")
+	serveShards = flag.String("serve-shards", "", "servesweep shard counts, comma-separated (default 2)")
+	serveReqs   = flag.String("serve-requests", "", "servesweep offered requests per cell (default 240)")
+	serveOut    = flag.String("serve-out", "", "servesweep: write the BENCH_serve.json artifact here")
 )
 
 // experiment is one registry entry. Deterministic experiments print only
@@ -71,6 +75,8 @@ var experiments = []experiment{
 		runCollSweep},
 	{"tenantsweep", "multi-tenancy: victim vRPC latency vs bulk neighbor, QoS off/on, crash", true,
 		runTenantSweep},
+	{"servesweep", "serving tier: open-loop load vs tail latency, admission off/on, hot shard, outage", true,
+		runServeSweep},
 }
 
 // tableExp adapts a table-producing benchmark to a registry run func.
@@ -176,6 +182,33 @@ func runTenantSweep(w io.Writer) error {
 		return err
 	}
 	t, err := bench.TenantSweep(bench.TenantConfig{Calls: calls, Rates: rates, Out: *tenantOut})
+	if err != nil {
+		return err
+	}
+	writeTable(w, t)
+	return nil
+}
+
+func runServeSweep(w io.Writer) error {
+	rates, err := parseFloatList(*serveRates, "-serve-rates")
+	if err != nil {
+		return err
+	}
+	shards, err := parseIntList(*serveShards, "-serve-shards", 1)
+	if err != nil {
+		return err
+	}
+	requests := 0
+	if *serveReqs != "" {
+		vals, err := parseIntList(*serveReqs, "-serve-requests", 1)
+		if err != nil || len(vals) != 1 {
+			return fmt.Errorf("bad -serve-requests %q", *serveReqs)
+		}
+		requests = vals[0]
+	}
+	t, err := bench.ServeSweep(bench.ServeConfig{
+		Rates: rates, Shards: shards, Requests: requests, Out: *serveOut,
+	})
 	if err != nil {
 		return err
 	}

@@ -86,6 +86,7 @@ type Analyzer struct {
 	phases  []phaseMark
 	buckets bucketSet
 	tenants map[string]*tenantState
+	serves  map[string]*tenantState
 }
 
 // tenantState accumulates one tenant's attribution: lifecycle instant
@@ -228,6 +229,8 @@ func (a *Analyzer) Consume(ev trace.Event) {
 			}
 		case "tenant":
 			a.tenant(ev.Component).counters[ev.Name] = ev.Value
+		case "serve":
+			a.serve(ev.Component).counters[ev.Name] = ev.Value
 		}
 	case trace.PhaseInstant:
 		switch ev.Category {
@@ -235,6 +238,8 @@ func (a *Analyzer) Consume(ev trace.Event) {
 			a.beginPhase(ev.Name, ev.T)
 		case "tenant":
 			a.tenant(ev.Component).events[ev.Name]++
+		case "serve":
+			a.serve(ev.Component).events[ev.Name]++
 		}
 	}
 }
@@ -250,6 +255,22 @@ func (a *Analyzer) tenant(comp string) *tenantState {
 	if !ok {
 		ts = &tenantState{events: make(map[string]int64), counters: make(map[string]float64)}
 		a.tenants[name] = ts
+	}
+	return ts
+}
+
+// serve returns the attribution bucket for a "serve/<shard>" component,
+// keyed by the bare shard name — the serving tier's counterpart of the
+// tenant buckets (emitted by internal/serve).
+func (a *Analyzer) serve(comp string) *tenantState {
+	name := strings.TrimPrefix(comp, "serve/")
+	if a.serves == nil {
+		a.serves = make(map[string]*tenantState)
+	}
+	ts, ok := a.serves[name]
+	if !ok {
+		ts = &tenantState{events: make(map[string]int64), counters: make(map[string]float64)}
+		a.serves[name] = ts
 	}
 	return ts
 }
@@ -598,13 +619,24 @@ func (a *Analyzer) Finalize(now int64, snap trace.Snapshot) *Report {
 		rep.Occupancies = append(rep.Occupancies, *os)
 	}
 
-	tenantNames := make([]string, 0, len(a.tenants))
-	for name := range a.tenants {
-		tenantNames = append(tenantNames, name)
+	rep.Tenants = collectAttr(a.tenants)
+	rep.Serve = collectAttr(a.serves)
+
+	rep.Verdict = rep.verdict()
+	return rep
+}
+
+// collectAttr flattens an attribution map (tenant or serve buckets) into
+// name-sorted stats with name-sorted events and counters.
+func collectAttr(m map[string]*tenantState) []TenantStat {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
 	}
-	sort.Strings(tenantNames)
-	for _, name := range tenantNames {
-		ts := a.tenants[name]
+	sort.Strings(names)
+	var out []TenantStat
+	for _, name := range names {
+		ts := m[name]
 		st := TenantStat{Name: name}
 		evNames := make([]string, 0, len(ts.events))
 		for k := range ts.events {
@@ -622,11 +654,9 @@ func (a *Analyzer) Finalize(now int64, snap trace.Snapshot) *Report {
 		for _, k := range ctrNames {
 			st.Counters = append(st.Counters, TenantCounter{Name: k, Value: ts.counters[k]})
 		}
-		rep.Tenants = append(rep.Tenants, st)
+		out = append(out, st)
 	}
-
-	rep.Verdict = rep.verdict()
-	return rep
+	return out
 }
 
 func frac(num, den int64) float64 {

@@ -33,6 +33,10 @@ type Report struct {
 	// counters), sorted by name. Empty — and absent from the JSON — for
 	// runs without a tenant manager.
 	Tenants []TenantStat
+	// Serve holds per-shard serving-tier attribution (admission and
+	// outcome counters), sorted by shard name. Empty — and absent from
+	// the JSON — for runs without a serving tier.
+	Serve []TenantStat
 	// Verdict is the one-paragraph textual conclusion.
 	Verdict string
 }
@@ -247,42 +251,48 @@ func (r *Report) WriteJSON(w io.Writer, indent string) error {
 			jstr(o.Class), jstr(o.Label), o.Instances, jnum(o.MeanFrac), jnum(o.PeakFrac), jstr(o.Busiest))
 	}
 	bw.WriteByte('\n')
-	// The tenants section only exists for runs that had a tenant manager,
-	// so single-tenant reports stay byte-identical to before it existed.
-	if len(r.Tenants) == 0 {
-		p(1, "]\n")
-		p(0, "}")
-		return bw.Flush()
-	}
-	p(1, "],\n")
-	p(1, "\"tenants\": [")
-	for i, t := range r.Tenants {
-		if i > 0 {
-			bw.WriteByte(',')
+	p(1, "]")
+	// The tenants and serve sections only exist for runs that produced
+	// them, so reports without those subsystems stay byte-identical to
+	// before the sections existed.
+	writeAttr := func(title string, stats []TenantStat) {
+		bw.WriteString(",\n")
+		p(1, "%q: [", title)
+		for i, t := range stats {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteByte('\n')
+			p(2, "{\n")
+			p(3, "\"name\": %s,\n", jstr(t.Name))
+			p(3, "\"events\": {")
+			for j, e := range t.Events {
+				if j > 0 {
+					bw.WriteString(", ")
+				}
+				fmt.Fprintf(bw, "%s: %d", jstr(e.Name), e.Count)
+			}
+			bw.WriteString("},\n")
+			p(3, "\"counters\": {")
+			for j, c := range t.Counters {
+				if j > 0 {
+					bw.WriteString(", ")
+				}
+				fmt.Fprintf(bw, "%s: %s", jstr(c.Name), jnum(c.Value))
+			}
+			bw.WriteString("}\n")
+			p(2, "}")
 		}
 		bw.WriteByte('\n')
-		p(2, "{\n")
-		p(3, "\"name\": %s,\n", jstr(t.Name))
-		p(3, "\"events\": {")
-		for j, e := range t.Events {
-			if j > 0 {
-				bw.WriteString(", ")
-			}
-			fmt.Fprintf(bw, "%s: %d", jstr(e.Name), e.Count)
-		}
-		bw.WriteString("},\n")
-		p(3, "\"counters\": {")
-		for j, c := range t.Counters {
-			if j > 0 {
-				bw.WriteString(", ")
-			}
-			fmt.Fprintf(bw, "%s: %s", jstr(c.Name), jnum(c.Value))
-		}
-		bw.WriteString("}\n")
-		p(2, "}")
+		p(1, "]")
+	}
+	if len(r.Tenants) > 0 {
+		writeAttr("tenants", r.Tenants)
+	}
+	if len(r.Serve) > 0 {
+		writeAttr("serve", r.Serve)
 	}
 	bw.WriteByte('\n')
-	p(1, "]\n")
 	p(0, "}")
 	return bw.Flush()
 }

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeSweepSmall runs the serving-tier experiment with a short
+// request count. Every cell double-runs inside ServeSweep and fails on
+// drift; on top of that the whole sweep runs twice here and the
+// BENCH_serve.json artifacts must be byte-identical — the bar the CI
+// smoke job re-checks. The sweep itself enforces the overload
+// acceptance properties (admission does not lose goodput past the knee,
+// admitted tails stay bounded, shed requests fail fast typed, the
+// outage cell loses nothing), so a passing run is the robustness
+// verdict, not just a timing table.
+func TestServeSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServeConfig{
+		Requests: 160,
+		Out:      filepath.Join(dir, "BENCH_serve.json"),
+	}
+	tbl, err := ServeSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 default rates x adm off/on + hot shard + fault clean/outage.
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tbl.Rows))
+	}
+	data, err := os.ReadFile(cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"benchmark": "vmmc-servesweep"`, `"rates_per_s"`,
+		`"case": "s=2 rate=15000 adm=off"`, `"case": "s=2 rate=60000 adm=on"`,
+		`"case": "hot shard s=2 rate=60000 theta=1.3"`,
+		`"case": "fault outage+heal"`, `"transport_errors": 0`,
+		`"shed_arrive"`, `"goodput_frac"`, `"verdict"`,
+		`"serve"`, `"name": "shard0"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("artifact missing %s", key)
+		}
+	}
+
+	cfg.Out = filepath.Join(dir, "BENCH_serve2.json")
+	if _, err := ServeSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("BENCH_serve.json not byte-identical across sweeps")
+	}
+}

@@ -26,6 +26,7 @@ var checkedDocs = []string{
 	"docs/OBSERVABILITY.md",
 	"docs/PERFORMANCE.md",
 	"docs/ROBUSTNESS.md",
+	"docs/SERVING.md",
 }
 
 var (

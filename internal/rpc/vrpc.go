@@ -33,6 +33,20 @@ var (
 	ErrProcUnavail = errors.New("rpc: procedure unavailable")
 	ErrGarbage     = errors.New("rpc: garbage arguments")
 	ErrSystem      = errors.New("rpc: server system error")
+
+	// ErrRPCTimeout is returned by CallDeadline when the deadline passes
+	// with no reply in the window — the server is dead, partitioned, or
+	// hopelessly behind. The connection stays usable: the next call first
+	// drains any late reply to the abandoned request.
+	ErrRPCTimeout = errors.New("rpc: call timed out")
+	// ErrDeadlineExceeded is the server telling the client its budget ran
+	// out before the handler executed; retrying is pointless because a
+	// retry starts even later.
+	ErrDeadlineExceeded = errors.New("rpc: deadline exceeded at server")
+	// ErrOverloaded is the server shedding load at admission; the request
+	// was rejected cheaply without being served and may be retried
+	// (subject to the caller's retry budget).
+	ErrOverloaded = errors.New("rpc: server overloaded")
 )
 
 // Slot geometry: [4B length][payload][4B sequence flag]. The sequence
@@ -45,6 +59,12 @@ const (
 
 	reqTagBase = 0xF000
 	repTagBase = 0xF100
+
+	// deadlineFlag marks the reply-tag trailer word of a request that
+	// carries an 8-byte absolute-deadline extension. Legacy calls keep
+	// the exact 8-byte trailer (and therefore byte-identical timing);
+	// reply tags are far below bit 31, so the flag cannot collide.
+	deadlineFlag = uint32(1) << 31
 )
 
 // Calibrated vRPC library costs (fitted to §5.4: 33 us round trip on
@@ -60,7 +80,20 @@ var (
 	// (§5.4: vRPC "was tuned for the SHRIMP hardware"): extra queue and
 	// completion management in the unported fast path.
 	myrinetPortOverhead = sim.Micros(11.1)
+	// rejectStub is the cost of refusing a request at admission: parse
+	// the header, encode the one-word error reply. Deliberately far
+	// below a full dispatch — shedding must be cheaper than serving or
+	// admission control cannot shed its way out of overload.
+	rejectStub = sim.Micros(2.0)
 )
+
+// ReplyGrace is how long past its deadline a CallDeadline client
+// lingers for the server's verdict before declaring ErrRPCTimeout. A
+// server that notices the expiry promptly gets its typed rejection
+// heard (clean connection, precise error); only a server that is dead
+// or hopelessly behind burns the timeout path and dirties the slot.
+// Sized to cover a reject stub plus one reply transit.
+var ReplyGrace = sim.Micros(25)
 
 func xdrCost(n int) sim.Time {
 	// Headers and small arguments are marshaled field by field; bulk
@@ -74,12 +107,51 @@ func xdrCost(n int) sim.Time {
 
 type procKey struct{ prog, vers, proc uint32 }
 
+// AdmitPhase distinguishes the two points where an admission policy is
+// consulted: when a request is first noticed in its slot (Arrive) and
+// when it reaches the head of the queue for dispatch (Serve).
+type AdmitPhase int
+
+const (
+	AdmitArrive AdmitPhase = iota
+	AdmitServe
+)
+
+// AdmissionFunc decides whether a request proceeds. depth counts queued
+// requests including this one; waited is the time the request has spent
+// queued (zero at Arrive); remaining is the budget left until the
+// request's deadline, or a negative sentinel when the request carries no
+// deadline. Returning false rejects the request with AcceptOverloaded.
+type AdmissionFunc func(phase AdmitPhase, depth int, waited, remaining sim.Time) bool
+
+// NoDeadline is the remaining-budget value an AdmissionFunc sees for
+// requests that carry no deadline.
+const NoDeadline = sim.Time(-1)
+
+// pendingReq is one noticed-but-not-yet-served request in the server's
+// FIFO arrival queue.
+type pendingReq struct {
+	slot     int
+	arrived  sim.Time
+	deadline sim.Time // 0 = none
+}
+
 // Server is a vRPC server bound to a VMMC process.
 type Server struct {
 	proc     *vmmc.Process
 	slots    int
 	reqBuf   mem.VirtAddr
 	handlers map[procKey]Handler
+
+	// Arrival queue: slots are scanned for complete requests, which are
+	// noticed into this FIFO and dispatched one at a time. Noticing is
+	// free (the scan was always there); serving order is arrival order
+	// across slots rather than slot order, which matches what the old
+	// inline scan-and-serve produced for live workloads while giving
+	// admission control a queue to measure.
+	noted   []bool
+	pending []pendingReq
+	admit   AdmissionFunc
 
 	// zeroCopy drops SunRPC compatibility: messages are decoded in place
 	// in the exported communication window, skipping the per-receive
@@ -96,7 +168,9 @@ type Server struct {
 	replySeq   []uint32
 	replySrc   mem.VirtAddr
 
-	Calls int64
+	Calls   int64 // requests dispatched to a handler
+	Shed    int64 // requests rejected by the admission policy
+	Expired int64 // requests whose deadline passed before dispatch
 }
 
 // NewServer exports the request windows (one slot per prospective client)
@@ -119,6 +193,7 @@ func NewServer(p *sim.Proc, proc *vmmc.Process, slots int) (*Server, error) {
 		reqBuf:     buf,
 		handlers:   make(map[procKey]Handler),
 		expectSeq:  make([]uint32, slots),
+		noted:      make([]bool, slots),
 		replyTo:    make([]vmmc.ProxyAddr, slots),
 		replyReady: make([]bool, slots),
 		replySeq:   make([]uint32, slots),
@@ -145,28 +220,159 @@ func (s *Server) Register(prog, vers, proc uint32, h Handler) {
 // receive path. Must match the clients' setting.
 func (s *Server) SetZeroCopy(on bool) { s.zeroCopy = on }
 
-// Start runs the server loop as a daemon process: poll the slots for
-// complete requests, dispatch, reply.
+// SetAdmission installs the admission policy consulted at request
+// arrival and again at dispatch. A nil policy (the default) admits
+// everything, which is the legacy behavior.
+func (s *Server) SetAdmission(f AdmissionFunc) { s.admit = f }
+
+// QueueDepth reports the number of noticed requests awaiting dispatch.
+func (s *Server) QueueDepth() int { return len(s.pending) }
+
+// OldestWait reports how long the head-of-queue request has been
+// waiting as of now (zero when the queue is empty).
+func (s *Server) OldestWait(now sim.Time) sim.Time {
+	if len(s.pending) == 0 {
+		return 0
+	}
+	return now - s.pending[0].arrived
+}
+
+// Start runs the server loop as a daemon process: scan the slots for
+// complete requests, queue them in arrival order, dispatch one at a
+// time, reply.
 func (s *Server) Start() {
 	s.proc.Node.Eng.Go(fmt.Sprintf("vrpc:server:%d", s.proc.Node.ID), func(p *sim.Proc) {
 		p.SetDaemon(true)
 		for {
-			served := false
-			for slot := 0; slot < s.slots; slot++ {
-				if s.pollSlot(p, slot) {
-					served = true
-				}
-			}
-			if !served {
+			s.scan(p)
+			if len(s.pending) == 0 {
 				// Park until the interface deposits something, then pay
 				// the polling-discovery latency. The scan above has no
 				// blocking points, so no deposit can slip between it and
 				// the wait.
 				s.proc.Node.MemActivity.Wait(p)
 				p.Sleep(pollInterval)
+				continue
 			}
+			s.serveOne(p)
 		}
 	})
+}
+
+// scan notices newly complete requests into the arrival queue. Noticing
+// is free of simulated cost (reading the exported window was always
+// part of the poll loop); this is also where deadline-expired and
+// over-depth requests are refused before they consume queue residence.
+func (s *Server) scan(p *sim.Proc) {
+	for slot := 0; slot < s.slots; slot++ {
+		if s.noted[slot] {
+			continue
+		}
+		base := s.reqBuf + mem.VirtAddr(slot*SlotBytes)
+		raw, ok := slotMessage(s.proc, base, s.expectSeq[slot])
+		if !ok {
+			continue
+		}
+		deadline := requestDeadline(raw)
+		now := p.Now()
+		if deadline != 0 && now >= deadline {
+			s.Expired++
+			s.reject(p, slot, raw, xdr.AcceptDeadlineExpired)
+			continue
+		}
+		if s.admit != nil && !s.admit(AdmitArrive, len(s.pending)+1, 0, remainingBudget(deadline, now)) {
+			s.Shed++
+			s.reject(p, slot, raw, xdr.AcceptOverloaded)
+			continue
+		}
+		s.noted[slot] = true
+		s.pending = append(s.pending, pendingReq{slot: slot, arrived: now, deadline: deadline})
+	}
+}
+
+// serveOne dispatches the head of the arrival queue, re-checking the
+// deadline and admission policy with the actual queueing delay known.
+func (s *Server) serveOne(p *sim.Proc) {
+	req := s.pending[0]
+	s.pending = s.pending[1:]
+	s.noted[req.slot] = false
+	base := s.reqBuf + mem.VirtAddr(req.slot*SlotBytes)
+	raw, ok := slotMessage(s.proc, base, s.expectSeq[req.slot])
+	if !ok {
+		return // unreachable: clients never overwrite an unconsumed slot
+	}
+	now := p.Now()
+	if req.deadline != 0 && now >= req.deadline {
+		s.Expired++
+		s.reject(p, req.slot, raw, xdr.AcceptDeadlineExpired)
+		return
+	}
+	if s.admit != nil && !s.admit(AdmitServe, len(s.pending)+1, now-req.arrived, remainingBudget(req.deadline, now)) {
+		s.Shed++
+		s.reject(p, req.slot, raw, xdr.AcceptOverloaded)
+		return
+	}
+	s.serve(p, req.slot, raw)
+}
+
+// remainingBudget converts an absolute deadline into the budget an
+// AdmissionFunc sees.
+func remainingBudget(deadline, now sim.Time) sim.Time {
+	if deadline == 0 {
+		return NoDeadline
+	}
+	return deadline - now
+}
+
+// requestDeadline parses the optional deadline extension out of a raw
+// request without charging simulated cost (it reads two words the scan
+// already has in hand).
+func requestDeadline(raw []byte) sim.Time {
+	if len(raw) < 16 {
+		return 0
+	}
+	if binary.BigEndian.Uint32(raw[4:])&deadlineFlag == 0 {
+		return 0
+	}
+	return sim.Time(binary.BigEndian.Uint64(raw[8:]))
+}
+
+// reject consumes a request without serving it: a short fixed stub, a
+// one-word typed error reply, no handler work. Failing fast is the
+// point — the reply must cost far less than the dispatch it replaces.
+func (s *Server) reject(p *sim.Proc, slot int, raw []byte, stat uint32) {
+	s.expectSeq[slot]++
+	p.Sleep(rejectStub)
+	hdrOff := 8
+	if requestDeadline(raw) != 0 {
+		hdrOff = 16
+	}
+	hdr, _, err := xdr.DecodeCall(raw[hdrOff:])
+	if err != nil {
+		stat = xdr.AcceptGarbageArgs
+	}
+	clientNode := int(binary.BigEndian.Uint32(raw[0:]))
+	replyTag := binary.BigEndian.Uint32(raw[4:]) &^ deadlineFlag
+	if !s.ensureReplyWindow(p, slot, clientNode, replyTag) {
+		return
+	}
+	enc := xdr.EncodeReply(hdr.XID, stat)
+	s.sendMessage(p, s.proc, s.replySrc, s.replyTo[slot], enc.Bytes(), &s.replySeq[slot], nil)
+}
+
+// ensureReplyWindow imports the client's reply window on first contact.
+func (s *Server) ensureReplyWindow(p *sim.Proc, slot int, clientNode int, replyTag uint32) bool {
+	if s.replyReady[slot] {
+		return true
+	}
+	dest, _, err := s.proc.Import(p, clientNode, replyTag)
+	if err != nil {
+		return false // cannot reply; drop, as UDP SunRPC would
+	}
+	s.replyTo[slot] = dest
+	s.replyReady[slot] = true
+	s.replySeq[slot] = 1
+	return true
 }
 
 // slotMessage checks a slot window for a complete message with the
@@ -194,13 +400,8 @@ func slotMessage(proc *vmmc.Process, base mem.VirtAddr, expect uint32) ([]byte, 
 	return payload, true
 }
 
-// pollSlot serves at most one request from the slot.
-func (s *Server) pollSlot(p *sim.Proc, slot int) bool {
-	base := s.reqBuf + mem.VirtAddr(slot*SlotBytes)
-	raw, ok := slotMessage(s.proc, base, s.expectSeq[slot])
-	if !ok {
-		return false
-	}
+// serve dispatches one admitted request from the slot.
+func (s *Server) serve(p *sim.Proc, slot int, raw []byte) {
 	s.expectSeq[slot]++
 	s.Calls++
 
@@ -217,23 +418,22 @@ func (s *Server) pollSlot(p *sim.Proc, slot int) bool {
 		p.Sleep(myrinetPortOverhead)
 	}
 
-	// First two words of the trailer the client appends after the RPC
+	// First two words of the trailer the client prepends before the RPC
 	// message proper: its node id and reply tag, used to establish the
-	// reply window on first contact.
+	// reply window on first contact. A set deadlineFlag bit extends the
+	// trailer with the absolute deadline.
 	var enc *xdr.Encoder
-	hdr, args, err := xdr.DecodeCall(raw[8:])
 	clientNode := int(binary.BigEndian.Uint32(raw[0:]))
-	replyTag := binary.BigEndian.Uint32(raw[4:])
+	replyTag := binary.BigEndian.Uint32(raw[4:]) &^ deadlineFlag
+	hdrOff := 8
+	if requestDeadline(raw) != 0 {
+		hdrOff = 16
+	}
+	hdr, args, err := xdr.DecodeCall(raw[hdrOff:])
 	p.Sleep(xdrCost(len(raw)))
 
-	if !s.replyReady[slot] {
-		dest, _, ierr := s.proc.Import(p, clientNode, replyTag)
-		if ierr != nil {
-			return true // cannot reply; drop, as UDP SunRPC would
-		}
-		s.replyTo[slot] = dest
-		s.replyReady[slot] = true
-		s.replySeq[slot] = 1
+	if !s.ensureReplyWindow(p, slot, clientNode, replyTag) {
+		return
 	}
 
 	switch {
@@ -251,7 +451,7 @@ func (s *Server) pollSlot(p *sim.Proc, slot int) bool {
 		}
 	}
 	p.Sleep(xdrCost(enc.Len()))
-	return s.sendMessage(p, s.proc, s.replySrc, s.replyTo[slot], enc.Bytes(), &s.replySeq[slot], nil) == nil
+	s.sendMessage(p, s.proc, s.replySrc, s.replyTo[slot], enc.Bytes(), &s.replySeq[slot], nil)
 }
 
 // sendMessage frames [len][payload(+trailer)][seq] into src memory and
@@ -288,7 +488,19 @@ type Client struct {
 	repSeq   uint32
 	nextXID  uint32
 	zeroCopy bool
+
+	// stale counts abandoned calls whose replies have not yet been
+	// consumed. After a CallDeadline timeout the connection is dirty:
+	// the request slot may still hold an unserved message, so the next
+	// call must first drain the late replies (in seq order) before it
+	// may overwrite the slot. Overwriting an unconsumed request would
+	// desynchronize the per-slot sequence protocol on both ends.
+	stale int
 }
+
+// Stale reports the number of abandoned calls whose replies the next
+// call must drain before sending. Nonzero after a timeout.
+func (c *Client) Stale() int { return c.stale }
 
 // SetZeroCopy switches the client to the compatibility-free in-place
 // receive path. Must match the server's setting.
@@ -329,12 +541,40 @@ func Dial(p *sim.Proc, proc *vmmc.Process, serverNode, slot int) (*Client, error
 }
 
 // Call performs a synchronous RPC: encode arguments with args, wait for
-// the reply, decode results with res.
+// the reply, decode results with res. The wait is unbounded; use
+// CallDeadline when the server may be slow, overloaded, or dead.
 func (c *Client) Call(p *sim.Proc, prog, vers, proc uint32, args func(*xdr.Encoder), res func(*xdr.Decoder) error) error {
+	return c.call(p, 0, prog, vers, proc, args, res)
+}
+
+// CallDeadline performs a synchronous RPC with an absolute deadline.
+// The deadline is marshaled into the request (servers refuse requests
+// whose budget ran out instead of doing dead work) and bounds the
+// client's reply wait: if it passes with no reply, CallDeadline returns
+// ErrRPCTimeout and abandons the call. Typed server rejections surface
+// as ErrOverloaded (retriable) and ErrDeadlineExceeded (not).
+func (c *Client) CallDeadline(p *sim.Proc, deadline sim.Time, prog, vers, proc uint32, args func(*xdr.Encoder), res func(*xdr.Decoder) error) error {
+	if deadline <= 0 {
+		return c.call(p, 0, prog, vers, proc, args, res)
+	}
+	return c.call(p, deadline, prog, vers, proc, args, res)
+}
+
+func (c *Client) call(p *sim.Proc, deadline sim.Time, prog, vers, proc uint32, args func(*xdr.Encoder), res func(*xdr.Decoder) error) error {
 	node := c.proc.Node
 	p.Sleep(clientStub)
 	if !c.zeroCopy {
 		p.Sleep(myrinetPortOverhead)
+	}
+	// The reply wait extends ReplyGrace past the deadline so a prompt
+	// typed rejection is heard instead of racing the local timeout; the
+	// deadline marshaled to the server stays exact.
+	waitUntil := deadline
+	if deadline != 0 {
+		waitUntil = deadline + ReplyGrace
+	}
+	if err := c.drainStale(p, waitUntil); err != nil {
+		return err
 	}
 	xid := c.nextXID
 	c.nextXID++
@@ -344,23 +584,29 @@ func (c *Client) Call(p *sim.Proc, prog, vers, proc uint32, args func(*xdr.Encod
 	}
 	p.Sleep(xdrCost(enc.Len()))
 
-	// Trailer: client node and reply tag for first-contact setup.
-	trailer := make([]byte, 8)
-	binary.BigEndian.PutUint32(trailer[0:], uint32(node.ID))
-	binary.BigEndian.PutUint32(trailer[4:], uint32(repTagBase+c.slot))
+	// Trailer: client node and reply tag for first-contact setup, plus
+	// the optional deadline extension (flagged in the reply-tag word).
+	var trailer []byte
+	if deadline != 0 {
+		trailer = make([]byte, 16)
+		binary.BigEndian.PutUint32(trailer[0:], uint32(node.ID))
+		binary.BigEndian.PutUint32(trailer[4:], uint32(repTagBase+c.slot)|deadlineFlag)
+		binary.BigEndian.PutUint64(trailer[8:], uint64(deadline))
+	} else {
+		trailer = make([]byte, 8)
+		binary.BigEndian.PutUint32(trailer[0:], uint32(node.ID))
+		binary.BigEndian.PutUint32(trailer[4:], uint32(repTagBase+c.slot))
+	}
 	if err := sendFramed(p, c.proc, c.src, c.dest, enc.Bytes(), &c.seq, trailer); err != nil {
 		return err
 	}
 
-	// Await the reply in the exported window.
-	var raw []byte
-	c.proc.SpinUntil(p, func() bool {
-		m, ok := slotMessage(c.proc, c.repBuf, c.repSeq)
-		if ok {
-			raw = m
-		}
-		return ok
-	})
+	// Await the reply in the exported window, up to deadline + grace.
+	raw, ok := c.awaitReply(p, waitUntil)
+	if !ok {
+		c.stale++
+		return ErrRPCTimeout
+	}
 	c.repSeq++
 
 	if !c.zeroCopy {
@@ -381,11 +627,55 @@ func (c *Client) Call(p *sim.Proc, prog, vers, proc uint32, args func(*xdr.Encod
 		return ErrProcUnavail
 	case xdr.AcceptGarbageArgs:
 		return ErrGarbage
+	case xdr.AcceptOverloaded:
+		return ErrOverloaded
+	case xdr.AcceptDeadlineExpired:
+		return ErrDeadlineExceeded
 	default:
 		return ErrSystem
 	}
 	if res != nil {
 		return res(dec)
+	}
+	return nil
+}
+
+// awaitReply waits for the next in-sequence reply. With a deadline the
+// spin predicate also watches the clock, so a lost notification — dead
+// server, dropped reply, partition — resolves as a timeout instead of
+// blocking forever. With deadline 0 the wait is unbounded (legacy
+// behavior, byte-identical timing).
+func (c *Client) awaitReply(p *sim.Proc, deadline sim.Time) ([]byte, bool) {
+	eng := c.proc.Node.Eng
+	var raw []byte
+	timedOut := false
+	c.proc.SpinUntil(p, func() bool {
+		m, ok := slotMessage(c.proc, c.repBuf, c.repSeq)
+		if ok {
+			raw = m
+			return true
+		}
+		if deadline != 0 && eng.Now() >= deadline {
+			timedOut = true
+			return true
+		}
+		return false
+	})
+	return raw, !timedOut
+}
+
+// drainStale consumes late replies to previously abandoned calls so the
+// request slot is provably free before the next send. Each stale reply
+// is discarded without decode cost; the drain itself is bounded by the
+// new call's deadline (unbounded if it has none — reuse a timed-out
+// connection with deadlines).
+func (c *Client) drainStale(p *sim.Proc, deadline sim.Time) error {
+	for c.stale > 0 {
+		if _, ok := c.awaitReply(p, deadline); !ok {
+			return ErrRPCTimeout
+		}
+		c.repSeq++
+		c.stale--
 	}
 	return nil
 }

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/vmmc"
+	"repro/internal/xdr"
+)
+
+// RetryPolicy is the client-side overload response: exponential backoff
+// with deterministic seeded jitter, gated by a per-connection retry
+// budget so retries cannot amplify overload into a retry storm.
+//
+// The budget is a token bucket in the gRPC retry-throttling style:
+// tokens start at Budget, every fresh call earns Ratio tokens (capped
+// at Budget), every retry spends one. Under sustained rejection the
+// bucket drains and retries stop, bounding total sends for N offered
+// calls at N*(1+Ratio) + Budget regardless of how long the overload
+// lasts.
+type RetryPolicy struct {
+	Base   sim.Time // first backoff step
+	Max    sim.Time // backoff cap
+	Budget float64  // token bucket capacity and initial fill
+	Ratio  float64  // tokens earned per fresh call (typically < 1)
+	Seed   uint64   // jitter stream seed
+}
+
+// DefaultRetryPolicy mirrors production retry-throttling defaults,
+// scaled to the tier's microsecond RTTs.
+func DefaultRetryPolicy(seed uint64) RetryPolicy {
+	return RetryPolicy{
+		Base:   sim.Micros(50),
+		Max:    sim.Micros(800),
+		Budget: 10,
+		Ratio:  0.1,
+		Seed:   seed,
+	}
+}
+
+// ConnStats counts a connection's send activity.
+type ConnStats struct {
+	Sends        int64    // RPCs put on the wire (fresh + retries)
+	Retries      int64    // re-sends after a retriable failure
+	BudgetDenied int64    // retries suppressed by an empty token bucket
+	Backoff      sim.Time // total time slept in backoff
+}
+
+// Conn is one vRPC connection to a shard, wrapped with the retry
+// policy. Not safe for concurrent use by multiple sim procs.
+type Conn struct {
+	rc       *rpc.Client
+	pol      RetryPolicy
+	tokens   float64
+	rng      uint64
+	lastSend sim.Time // start of the most recent send attempt
+	Stats    ConnStats
+}
+
+// LastSend reports when the connection's most recent RPC attempt began
+// — the anchor for fail-fast latency (how quickly the final attempt
+// resolved, excluding earlier retries' backoff).
+func (c *Conn) LastSend() sim.Time { return c.lastSend }
+
+// DialShard opens connection conn from client-node index cIdx to shard
+// sIdx, using the given process on that client node.
+func (t *Tier) DialShard(p *sim.Proc, proc *vmmc.Process, cIdx, sIdx, conn int, pol RetryPolicy) (*Conn, error) {
+	rc, err := rpc.Dial(p, proc, t.cfg.ShardNodes[sIdx], t.slotFor(cIdx, sIdx, conn))
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{rc: rc, pol: pol, tokens: pol.Budget, rng: pol.Seed}, nil
+}
+
+// retriable reports whether the failure may be retried: overload
+// rejections (the server asked for backoff) and timeouts (the reply may
+// be lost; at-least-once GET semantics are safe). Server-side deadline
+// expiry is final — a retry would start even later.
+func retriable(err error) bool {
+	return errors.Is(err, rpc.ErrOverloaded) || errors.Is(err, rpc.ErrRPCTimeout)
+}
+
+// do runs one budgeted-retry RPC loop around the call closure.
+func (c *Conn) do(p *sim.Proc, deadline sim.Time, call func() error) error {
+	if c.pol.Ratio > 0 {
+		c.tokens += c.pol.Ratio
+		if c.tokens > c.pol.Budget {
+			c.tokens = c.pol.Budget
+		}
+	}
+	backoff := c.pol.Base
+	if backoff <= 0 {
+		backoff = sim.Micros(50)
+	}
+	for {
+		if deadline != 0 && p.Now() >= deadline {
+			return ErrDeadlinePassed
+		}
+		c.Stats.Sends++
+		c.lastSend = p.Now()
+		err := call()
+		if err == nil || !retriable(err) {
+			return err
+		}
+		if c.tokens < 1 {
+			c.Stats.BudgetDenied++
+			return err
+		}
+		c.tokens--
+		c.Stats.Retries++
+		// Deterministic decorrelated jitter: sleep uniformly in
+		// [backoff/2, backoff), then double toward the cap.
+		d := backoff/2 + sim.Time(unit(&c.rng)*float64(backoff/2))
+		c.Stats.Backoff += d
+		p.Sleep(d)
+		if backoff < c.pol.Max {
+			backoff *= 2
+			if backoff > c.pol.Max {
+				backoff = c.pol.Max
+			}
+		}
+	}
+}
+
+// Get fetches a key with the connection's retry policy. deadline 0
+// means no deadline (and no client-side timeout).
+func (c *Conn) Get(p *sim.Proc, key uint32, deadline sim.Time) ([]byte, error) {
+	var val []byte
+	var found bool
+	err := c.do(p, deadline, func() error {
+		val, found = nil, false
+		return c.rc.CallDeadline(p, deadline, ProgKV, VersKV, ProcGet,
+			func(e *xdr.Encoder) { e.PutUint32(key) },
+			func(d *xdr.Decoder) error {
+				f, err := d.Uint32()
+				if err != nil {
+					return err
+				}
+				if f == 0 {
+					return nil
+				}
+				v, err := d.Opaque(rpc.SlotBytes)
+				if err != nil {
+					return err
+				}
+				val, found = v, true
+				return nil
+			})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	return val, nil
+}
+
+// Put stores a key with the connection's retry policy.
+func (c *Conn) Put(p *sim.Proc, key uint32, val []byte, deadline sim.Time) error {
+	return c.do(p, deadline, func() error {
+		return c.rc.CallDeadline(p, deadline, ProgKV, VersKV, ProcPut,
+			func(e *xdr.Encoder) { e.PutUint32(key); e.PutOpaque(val) },
+			nil)
+	})
+}
+
+// Client exposes the underlying vRPC client (tests).
+func (c *Conn) Client() *rpc.Client { return c.rc }

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ErrShardStuck is the sentinel matched by errors.Is against a
+// ShardStuckError.
+var ErrShardStuck = errors.New("serve: shard stuck")
+
+// ErrDeadlinePassed is returned by Conn calls whose deadline expired
+// before the request was even sent — the client fails it locally
+// instead of spending wire time on work that is already too late.
+var ErrDeadlinePassed = errors.New("serve: deadline passed before send")
+
+// ShardStuckError is the serving tier's typed rendering of a simulation
+// deadlock: requests are queued against a shard and nothing is draining
+// them. It names the shard, how deep the backlog is, and how long the
+// oldest request has been waiting — the three numbers an operator needs
+// — instead of a raw parked-process dump. Installed as a deadlock
+// wrapper on the engine by Build, mirroring coll.CreditDeadlockError.
+type ShardStuckError struct {
+	Shard     int      // shard index with the deepest backlog
+	Depth     int      // queued requests (server arrival queue + client dispatch)
+	OldestAge sim.Time // age of the oldest undrained request
+	Err       error    // the engine's underlying deadlock report
+}
+
+func (e *ShardStuckError) Error() string {
+	return fmt.Sprintf("serve: shard %d stuck: %d queued requests, oldest waiting %v: %v",
+		e.Shard, e.Depth, e.OldestAge, e.Err)
+}
+
+func (e *ShardStuckError) Unwrap() error { return e.Err }
+
+// Is matches the ErrShardStuck sentinel.
+func (e *ShardStuckError) Is(target error) bool { return target == ErrShardStuck }

@@ -28,6 +28,18 @@ const (
 	AcceptSystemErr    = 5
 )
 
+// Repo-extension accept statuses, from the implementation-defined range
+// well above RFC 5531's enum. A server under admission control replies
+// AcceptOverloaded instead of queueing a request it cannot serve in
+// time (retriable), and AcceptDeadlineExpired when the caller's
+// deadline passed before the handler ran (not retriable — the work is
+// already too late). Stock SunRPC peers would map both to a system
+// error, which is the safe fallback.
+const (
+	AcceptOverloaded      = 100
+	AcceptDeadlineExpired = 101
+)
+
 // RPCVersion is the only SunRPC protocol version.
 const RPCVersion = 2
 
