@@ -27,6 +27,10 @@ var (
 	serveShards = flag.String("serve-shards", "", "servesweep shard counts, comma-separated (default 2)")
 	serveReqs   = flag.String("serve-requests", "", "servesweep offered requests per cell (default 240)")
 	serveOut    = flag.String("serve-out", "", "servesweep: write the BENCH_serve.json artifact here")
+	replicaR    = flag.String("replica-r", "", "replicasweep replication factors, comma-separated (default 1,2,3)")
+	replicaRate = flag.String("replica-rates", "", "replicasweep total offered loads in req/s, comma-separated (default 30000,70000)")
+	replicaReqs = flag.String("replica-requests", "", "replicasweep offered requests per cell (default 240)")
+	replicaOut  = flag.String("replica-out", "", "replicasweep: write the BENCH_replica.json artifact here")
 )
 
 // experiment is one registry entry. Deterministic experiments print only
@@ -77,6 +81,8 @@ var experiments = []experiment{
 		runTenantSweep},
 	{"servesweep", "serving tier: open-loop load vs tail latency, admission off/on, hot shard, outage", true,
 		runServeSweep},
+	{"replicasweep", "replication: R-way shards at equal capacity, load-aware routing, replica kill", true,
+		runReplicaSweep},
 }
 
 // tableExp adapts a table-producing benchmark to a registry run func.
@@ -208,6 +214,33 @@ func runServeSweep(w io.Writer) error {
 	}
 	t, err := bench.ServeSweep(bench.ServeConfig{
 		Rates: rates, Shards: shards, Requests: requests, Out: *serveOut,
+	})
+	if err != nil {
+		return err
+	}
+	writeTable(w, t)
+	return nil
+}
+
+func runReplicaSweep(w io.Writer) error {
+	rs, err := parseIntList(*replicaR, "-replica-r", 1)
+	if err != nil {
+		return err
+	}
+	rates, err := parseFloatList(*replicaRate, "-replica-rates")
+	if err != nil {
+		return err
+	}
+	requests := 0
+	if *replicaReqs != "" {
+		vals, err := parseIntList(*replicaReqs, "-replica-requests", 1)
+		if err != nil || len(vals) != 1 {
+			return fmt.Errorf("bad -replica-requests %q", *replicaReqs)
+		}
+		requests = vals[0]
+	}
+	t, err := bench.ReplicaSweep(bench.ReplicaConfig{
+		Rs: rs, Rates: rates, Requests: requests, Out: *replicaOut,
 	})
 	if err != nil {
 		return err

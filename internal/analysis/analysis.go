@@ -85,8 +85,9 @@ type Analyzer struct {
 	occs    map[string]*occState
 	phases  []phaseMark
 	buckets bucketSet
-	tenants map[string]*tenantState
-	serves  map[string]*tenantState
+	tenants  map[string]*tenantState
+	serves   map[string]*tenantState
+	replicas map[string]*tenantState
 }
 
 // tenantState accumulates one tenant's attribution: lifecycle instant
@@ -231,6 +232,8 @@ func (a *Analyzer) Consume(ev trace.Event) {
 			a.tenant(ev.Component).counters[ev.Name] = ev.Value
 		case "serve":
 			a.serve(ev.Component).counters[ev.Name] = ev.Value
+		case "replica":
+			a.replica(ev.Component).counters[ev.Name] = ev.Value
 		}
 	case trace.PhaseInstant:
 		switch ev.Category {
@@ -240,6 +243,8 @@ func (a *Analyzer) Consume(ev trace.Event) {
 			a.tenant(ev.Component).events[ev.Name]++
 		case "serve":
 			a.serve(ev.Component).events[ev.Name]++
+		case "replica":
+			a.replica(ev.Component).events[ev.Name]++
 		}
 	}
 }
@@ -271,6 +276,22 @@ func (a *Analyzer) serve(comp string) *tenantState {
 	if !ok {
 		ts = &tenantState{events: make(map[string]int64), counters: make(map[string]float64)}
 		a.serves[name] = ts
+	}
+	return ts
+}
+
+// replica returns the attribution bucket for a "replica/<name>"
+// component (names look like "s2r1": shard 2, replica 1), keyed by the
+// bare name — emitted by internal/replica's EmitUsage.
+func (a *Analyzer) replica(comp string) *tenantState {
+	name := strings.TrimPrefix(comp, "replica/")
+	if a.replicas == nil {
+		a.replicas = make(map[string]*tenantState)
+	}
+	ts, ok := a.replicas[name]
+	if !ok {
+		ts = &tenantState{events: make(map[string]int64), counters: make(map[string]float64)}
+		a.replicas[name] = ts
 	}
 	return ts
 }
@@ -621,6 +642,7 @@ func (a *Analyzer) Finalize(now int64, snap trace.Snapshot) *Report {
 
 	rep.Tenants = collectAttr(a.tenants)
 	rep.Serve = collectAttr(a.serves)
+	rep.Replica = collectAttr(a.replicas)
 
 	rep.Verdict = rep.verdict()
 	return rep

@@ -37,6 +37,11 @@ type Report struct {
 	// outcome counters), sorted by shard name. Empty — and absent from
 	// the JSON — for runs without a serving tier.
 	Serve []TenantStat
+	// Replica holds per-replica attribution for the replicated serving
+	// tier (routing, admission, and replication counters), sorted by
+	// "s<shard>r<replica>" name. Empty — and absent from the JSON — for
+	// runs without replication.
+	Replica []TenantStat
 	// Verdict is the one-paragraph textual conclusion.
 	Verdict string
 }
@@ -291,6 +296,9 @@ func (r *Report) WriteJSON(w io.Writer, indent string) error {
 	}
 	if len(r.Serve) > 0 {
 		writeAttr("serve", r.Serve)
+	}
+	if len(r.Replica) > 0 {
+		writeAttr("replica", r.Replica)
 	}
 	bw.WriteByte('\n')
 	p(0, "}")

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReplicaSweepSmall runs the replication experiment with a short
+// request count. Every cell double-runs inside ReplicaSweep and fails
+// on drift; on top of that the whole sweep runs twice here and the
+// BENCH_replica.json artifacts must be byte-identical — the bar the CI
+// smoke job re-checks. The sweep itself enforces the replication
+// properties (R>=2 beats R=1 past the knee at equal total capacity,
+// load-aware routing flattens the hot shard, the follower kill costs
+// nothing but tail latency), so a passing run is the replication
+// verdict, not just a timing table.
+func TestReplicaSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ReplicaConfig{
+		Requests: 160,
+		Out:      filepath.Join(dir, "BENCH_replica.json"),
+	}
+	tbl, err := ReplicaSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 default Rs x 2 rates + routing pair + kill pair.
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(tbl.Rows))
+	}
+	data, err := os.ReadFile(cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"benchmark": "vmmc-replicasweep"`, `"rates_per_s"`,
+		`"case": "r=1 rate=30000"`, `"case": "r=3 rate=70000"`,
+		`"case": "hot r=3 rate=45000 route=static"`,
+		`"case": "hot r=3 rate=45000 route=loadaware"`,
+		`"case": "kill follower"`, `"dead_followers": 1`,
+		`"hot_offered"`, `"ryw_fallbacks"`, `"goodput_frac"`,
+		`"transport_errors": 0`, `"verdict"`,
+		`"replica"`, `"name": "s0r0"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("artifact missing %s", key)
+		}
+	}
+
+	cfg.Out = filepath.Join(dir, "BENCH_replica2.json")
+	if _, err := ReplicaSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("BENCH_replica.json not byte-identical across sweeps")
+	}
+}

@@ -1,0 +1,169 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rpc"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/vmmc"
+	"repro/internal/xdr"
+)
+
+// Group is one worker's view of a shard: a vRPC connection to every
+// replica plus the shared retry budget. Reads go wherever the tier-wide
+// router points, writes go to the primary, and a retry after a
+// retriable failure is routed away from the replica that just failed.
+// Not safe for concurrent use by multiple sim procs.
+type Group struct {
+	t     *Tier
+	shard int
+	conns []*rpc.Client // indexed by replica
+	*serve.Retrier
+}
+
+// DialGroup opens connection conn from client-node index cIdx to every
+// replica of shard sIdx, using the given process on that client node.
+func (t *Tier) DialGroup(p *sim.Proc, proc *vmmc.Process, cIdx, sIdx, conn int, pol serve.RetryPolicy) (*Group, error) {
+	g := &Group{t: t, shard: sIdx, Retrier: serve.NewRetrier(pol)}
+	set := t.sets[sIdx]
+	for j := 0; j < t.cfg.R; j++ {
+		rc, err := rpc.Dial(p, proc, set.Replicas[j].Node, t.slotFor(cIdx, sIdx, j, conn))
+		if err != nil {
+			return nil, err
+		}
+		g.conns = append(g.conns, rc)
+	}
+	return g, nil
+}
+
+// attemptDeadline clamps one attempt's deadline to now+AttemptTimeout,
+// never past the request deadline. The returned bool reports whether
+// the clamp bit (the attempt may fail with request budget left).
+func (g *Group) attemptDeadline(p *sim.Proc, deadline sim.Time) (sim.Time, bool) {
+	at := g.t.cfg.Routing.AttemptTimeout
+	if at <= 0 {
+		return deadline, false
+	}
+	ad := p.Now() + at
+	if deadline != 0 && ad >= deadline {
+		return deadline, false
+	}
+	return ad, true
+}
+
+// attempt issues one RPC to replica j of the group's shard, folding the
+// outcome into the router. When the clamped attempt deadline (not the
+// request's) expired server-side, the typed expiry is re-mapped to a
+// retriable timeout: the request still has budget and another replica
+// may serve it in time.
+func (g *Group) attempt(p *sim.Proc, j int, deadline sim.Time, proc uint32,
+	args func(*xdr.Encoder), res func(*xdr.Decoder) error) error {
+	t, rt := g.t, g.t.router
+	if t.onAttempt != nil {
+		t.onAttempt(g.shard, j)
+	}
+	rep := t.sets[g.shard].Replicas[j]
+	rep.Offered++
+	ad, clamped := g.attemptDeadline(p, deadline)
+	rt.begin(g.shard, j)
+	err := g.conns[j].CallDeadline(p, ad, ProgKV, VersKV, proc, args, res)
+	rt.done(g.shard, j)
+	failed := errors.Is(err, rpc.ErrRPCTimeout) || errors.Is(err, vmmc.ErrNodeUnreachable)
+	hint, ok := g.conns[j].LastHint()
+	rt.observe(p.Now(), g.shard, j, hint, ok && !failed, failed, errors.Is(err, rpc.ErrOverloaded))
+	if clamped && errors.Is(err, rpc.ErrDeadlineExceeded) && (deadline == 0 || p.Now() < deadline) {
+		return fmt.Errorf("replica: attempt budget exhausted: %w", rpc.ErrRPCTimeout)
+	}
+	return err
+}
+
+// decodeGet parses a ProcGet reply: found flag, version, value.
+func decodeGet(d *xdr.Decoder, val *[]byte, ver *uint64, found *bool) error {
+	f, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	v, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	*ver = v
+	if f == 0 {
+		return nil
+	}
+	b, err := d.Opaque(rpc.SlotBytes)
+	if err != nil {
+		return err
+	}
+	*val, *found = b, true
+	return nil
+}
+
+// Get reads a key through the router with budgeted retries; a retry
+// never re-targets the replica the previous attempt used while another
+// is alive. Returns the replica that produced the result (or took the
+// final failure). deadline 0 means no deadline.
+func (g *Group) Get(p *sim.Proc, key uint32, deadline sim.Time) (val []byte, ver uint64, found bool, replica int, err error) {
+	last := -1
+	replica = -1
+	err = g.Do(p, deadline, func(int) error {
+		j := g.t.router.pick(p.Now(), g.shard, key, last)
+		last, replica = j, j
+		val, ver, found = nil, 0, false
+		return g.attempt(p, j, deadline, ProcGet,
+			func(e *xdr.Encoder) { e.PutUint32(key) },
+			func(d *xdr.Decoder) error { return decodeGet(d, &val, &ver, &found) })
+	})
+	return
+}
+
+// GetFrom reads a key from one specific replica, no retries, no router
+// bookkeeping beyond hints (warm-up and tests).
+func (g *Group) GetFrom(p *sim.Proc, j int, key uint32, deadline sim.Time) (val []byte, ver uint64, found bool, err error) {
+	err = g.conns[j].CallDeadline(p, deadline, ProgKV, VersKV, ProcGet,
+		func(e *xdr.Encoder) { e.PutUint32(key) },
+		func(d *xdr.Decoder) error { return decodeGet(d, &val, &ver, &found) })
+	return
+}
+
+// Put writes a key through the shard's primary and returns the version
+// the primary assigned — the tag a subsequent GetRYW uses to detect a
+// stale follower. Retries re-send to the primary (it is the only
+// writer; ProcPut is not idempotent across replicas).
+func (g *Group) Put(p *sim.Proc, key uint32, val []byte, deadline sim.Time) (ver uint64, err error) {
+	err = g.Do(p, deadline, func(int) error {
+		ver = 0
+		return g.attempt(p, 0, deadline, ProcPut,
+			func(e *xdr.Encoder) { e.PutUint32(key); e.PutOpaque(val) },
+			func(d *xdr.Decoder) error { v, err := d.Uint64(); ver = v; return err })
+	})
+	return
+}
+
+// GetRYW is Get with a read-your-writes floor: if a follower returns a
+// version below minVer (its asynchronous apply has not landed yet), the
+// read falls back to the primary, which by construction has every
+// version it ever assigned. fallback reports whether that second read
+// happened — the client-visible cost of asynchronous replication.
+func (g *Group) GetRYW(p *sim.Proc, key uint32, minVer uint64, deadline sim.Time) (val []byte, ver uint64, found bool, replica int, fallback bool, err error) {
+	val, ver, found, replica, err = g.Get(p, key, deadline)
+	if err != nil || ver >= minVer || replica == 0 {
+		return
+	}
+	fallback = true
+	err = g.Do(p, deadline, func(int) error {
+		val, ver, found = nil, 0, false
+		return g.attempt(p, 0, deadline, ProcGet,
+			func(e *xdr.Encoder) { e.PutUint32(key) },
+			func(d *xdr.Decoder) error { return decodeGet(d, &val, &ver, &found) })
+	})
+	if err == nil {
+		replica = 0
+	}
+	return
+}
+
+// Client exposes the vRPC connection to replica j (tests).
+func (g *Group) Client(j int) *rpc.Client { return g.conns[j] }

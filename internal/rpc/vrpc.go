@@ -65,7 +65,29 @@ const (
 	// the exact 8-byte trailer (and therefore byte-identical timing);
 	// reply tags are far below bit 31, so the flag cannot collide.
 	deadlineFlag = uint32(1) << 31
+
+	// hintFlag marks the first word of a reply that carries a 16-byte
+	// load-hint trailer ahead of the XDR reply message. The first word
+	// of a plain reply is the XID, which the client assigns starting at
+	// 1, so bit 31 is never set on a legacy reply — the same reserved-
+	// bit trick the request direction uses for deadlines. Servers only
+	// emit the trailer when SetLoadHints(true); disabled, every reply
+	// is byte-identical to the pre-hint protocol.
+	hintFlag    = uint32(1) << 31
+	hintVersion = uint32(1)
+	hintBytes   = 16
 )
+
+// LoadHint is a server-load sample piggybacked on a vRPC reply: the
+// arrival-queue depth at reply time plus the server's cumulative shed
+// and served counts, from which a client-side router derives recent-
+// shed pressure. At is the client receive time of the sample.
+type LoadHint struct {
+	Depth  int
+	Sheds  int64
+	Served int64
+	At     sim.Time
+}
 
 // Calibrated vRPC library costs (fitted to §5.4: 33 us round trip on
 // SHRIMP, 66 us on Myrinet, where the library was not retuned).
@@ -168,6 +190,12 @@ type Server struct {
 	replySeq   []uint32
 	replySrc   mem.VirtAddr
 
+	// loadHints prepends a 16-byte load sample to every reply (served
+	// and rejected alike — a rejection is itself a load signal) for
+	// client-side replica routing. Off by default: the wire stays
+	// byte-identical to the pre-hint protocol.
+	loadHints bool
+
 	Calls   int64 // requests dispatched to a handler
 	Shed    int64 // requests rejected by the admission policy
 	Expired int64 // requests whose deadline passed before dispatch
@@ -224,6 +252,34 @@ func (s *Server) SetZeroCopy(on bool) { s.zeroCopy = on }
 // arrival and again at dispatch. A nil policy (the default) admits
 // everything, which is the legacy behavior.
 func (s *Server) SetAdmission(f AdmissionFunc) { s.admit = f }
+
+// SetLoadHints enables the reply load-hint trailer: every reply (and
+// rejection) carries the server's queue depth and cumulative shed/served
+// counts for client-side load-aware routing. Hint-unaware clients never
+// see the trailer only because they never talk to a hint-enabled server
+// — the trailer is per-server, not negotiated; disabled (the default)
+// the protocol is byte-identical to the pre-hint wire format.
+func (s *Server) SetLoadHints(on bool) { s.loadHints = on }
+
+// hintTrailer builds the 16-byte reply load sample. Reading the counters
+// costs nothing extra — they are in hand at reply time — so hint-enabled
+// replies differ from legacy ones only by the 16 wire bytes.
+func (s *Server) hintTrailer() []byte {
+	b := make([]byte, hintBytes)
+	binary.BigEndian.PutUint32(b[0:], hintFlag|hintVersion)
+	binary.BigEndian.PutUint32(b[4:], uint32(len(s.pending)))
+	binary.BigEndian.PutUint32(b[8:], uint32(s.Shed))
+	binary.BigEndian.PutUint32(b[12:], uint32(s.Calls))
+	return b
+}
+
+// replyTrailer returns the hint trailer when hints are on, nil otherwise.
+func (s *Server) replyTrailer() []byte {
+	if !s.loadHints {
+		return nil
+	}
+	return s.hintTrailer()
+}
 
 // QueueDepth reports the number of noticed requests awaiting dispatch.
 func (s *Server) QueueDepth() int { return len(s.pending) }
@@ -357,7 +413,7 @@ func (s *Server) reject(p *sim.Proc, slot int, raw []byte, stat uint32) {
 		return
 	}
 	enc := xdr.EncodeReply(hdr.XID, stat)
-	s.sendMessage(p, s.proc, s.replySrc, s.replyTo[slot], enc.Bytes(), &s.replySeq[slot], nil)
+	s.sendMessage(p, s.proc, s.replySrc, s.replyTo[slot], enc.Bytes(), &s.replySeq[slot], s.replyTrailer())
 }
 
 // ensureReplyWindow imports the client's reply window on first contact.
@@ -451,7 +507,7 @@ func (s *Server) serve(p *sim.Proc, slot int, raw []byte) {
 		}
 	}
 	p.Sleep(xdrCost(enc.Len()))
-	s.sendMessage(p, s.proc, s.replySrc, s.replyTo[slot], enc.Bytes(), &s.replySeq[slot], nil)
+	s.sendMessage(p, s.proc, s.replySrc, s.replyTo[slot], enc.Bytes(), &s.replySeq[slot], s.replyTrailer())
 }
 
 // sendMessage frames [len][payload(+trailer)][seq] into src memory and
@@ -477,6 +533,16 @@ func sendFramed(p *sim.Proc, proc *vmmc.Process, src mem.VirtAddr, dest vmmc.Pro
 	return proc.SendMsgSync(p, src, dest, len(msg), vmmc.SendOptions{})
 }
 
+// ClientConfig carries per-connection client tuning. The zero value
+// preserves the historical behavior exactly.
+type ClientConfig struct {
+	// ReplyGrace overrides the package-level ReplyGrace for this
+	// connection: how long past its deadline a CallDeadline call waits
+	// for the server's verdict before ErrRPCTimeout. Zero selects the
+	// package default (25 µs).
+	ReplyGrace sim.Time
+}
+
 // Client is a vRPC client bound to one server slot.
 type Client struct {
 	proc     *vmmc.Process
@@ -488,6 +554,12 @@ type Client struct {
 	repSeq   uint32
 	nextXID  uint32
 	zeroCopy bool
+	cfg      ClientConfig
+
+	// lastHint is the most recent load-hint trailer stripped from a
+	// reply on this connection; hintSeen reports one arrived at all.
+	lastHint LoadHint
+	hintSeen bool
 
 	// stale counts abandoned calls whose replies have not yet been
 	// consumed. After a CallDeadline timeout the connection is dirty:
@@ -505,6 +577,23 @@ func (c *Client) Stale() int { return c.stale }
 // SetZeroCopy switches the client to the compatibility-free in-place
 // receive path. Must match the server's setting.
 func (c *Client) SetZeroCopy(on bool) { c.zeroCopy = on }
+
+// SetConfig installs per-connection tuning; see ClientConfig.
+func (c *Client) SetConfig(cfg ClientConfig) { c.cfg = cfg }
+
+// replyGrace resolves the connection's effective reply grace.
+func (c *Client) replyGrace() sim.Time {
+	if c.cfg.ReplyGrace > 0 {
+		return c.cfg.ReplyGrace
+	}
+	return ReplyGrace
+}
+
+// LastHint returns the most recent load hint the server piggybacked on
+// a reply over this connection, and whether any hint has arrived. Hints
+// are a routing signal, not a synchronized snapshot: the sample is as
+// of the server's reply time (LoadHint.At is the client receive time).
+func (c *Client) LastHint() (LoadHint, bool) { return c.lastHint, c.hintSeen }
 
 // Dial imports the server's request window for the slot and exports a
 // local reply window the server will import on first contact.
@@ -566,12 +655,12 @@ func (c *Client) call(p *sim.Proc, deadline sim.Time, prog, vers, proc uint32, a
 	if !c.zeroCopy {
 		p.Sleep(myrinetPortOverhead)
 	}
-	// The reply wait extends ReplyGrace past the deadline so a prompt
-	// typed rejection is heard instead of racing the local timeout; the
-	// deadline marshaled to the server stays exact.
+	// The reply wait extends the reply grace past the deadline so a
+	// prompt typed rejection is heard instead of racing the local
+	// timeout; the deadline marshaled to the server stays exact.
 	waitUntil := deadline
 	if deadline != 0 {
-		waitUntil = deadline + ReplyGrace
+		waitUntil = deadline + c.replyGrace()
 	}
 	if err := c.drainStale(p, waitUntil); err != nil {
 		return err
@@ -614,6 +703,20 @@ func (c *Client) call(p *sim.Proc, deadline sim.Time, prog, vers, proc uint32, a
 		node.CPU.Bcopy(p, len(raw))
 	}
 	p.Sleep(xdrCost(len(raw)))
+	// Strip the optional load-hint trailer. The flag bit lives where a
+	// plain reply carries its XID (always below 2^31), so a flagged
+	// first word is unambiguous; decoding the sample reads words the
+	// copy above already paid for.
+	if len(raw) >= hintBytes && binary.BigEndian.Uint32(raw[0:])&hintFlag != 0 {
+		c.lastHint = LoadHint{
+			Depth:  int(binary.BigEndian.Uint32(raw[4:])),
+			Sheds:  int64(binary.BigEndian.Uint32(raw[8:])),
+			Served: int64(binary.BigEndian.Uint32(raw[12:])),
+			At:     p.Now(),
+		}
+		c.hintSeen = true
+		raw = raw[hintBytes:]
+	}
 	gotXID, stat, dec, err := xdr.DecodeReply(raw)
 	if err != nil {
 		return err

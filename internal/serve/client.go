@@ -47,10 +47,12 @@ type ConnStats struct {
 	Backoff      sim.Time // total time slept in backoff
 }
 
-// Conn is one vRPC connection to a shard, wrapped with the retry
-// policy. Not safe for concurrent use by multiple sim procs.
-type Conn struct {
-	rc       *rpc.Client
+// Retrier runs the budgeted-retry loop around an arbitrary RPC attempt
+// closure. It is the policy half of a Conn, split out so layers that
+// re-target attempts between tries — the replica router sends each
+// retry to a different replica — can reuse the exact token-bucket and
+// backoff machinery. Not safe for concurrent use by multiple sim procs.
+type Retrier struct {
 	pol      RetryPolicy
 	tokens   float64
 	rng      uint64
@@ -58,10 +60,22 @@ type Conn struct {
 	Stats    ConnStats
 }
 
-// LastSend reports when the connection's most recent RPC attempt began
-// — the anchor for fail-fast latency (how quickly the final attempt
-// resolved, excluding earlier retries' backoff).
-func (c *Conn) LastSend() sim.Time { return c.lastSend }
+// NewRetrier builds a Retrier with a full token bucket.
+func NewRetrier(pol RetryPolicy) *Retrier {
+	return &Retrier{pol: pol, tokens: pol.Budget, rng: pol.Seed}
+}
+
+// LastSend reports when the most recent RPC attempt began — the anchor
+// for fail-fast latency (how quickly the final attempt resolved,
+// excluding earlier retries' backoff).
+func (r *Retrier) LastSend() sim.Time { return r.lastSend }
+
+// Conn is one vRPC connection to a shard, wrapped with the retry
+// policy. Not safe for concurrent use by multiple sim procs.
+type Conn struct {
+	rc *rpc.Client
+	*Retrier
+}
 
 // DialShard opens connection conn from client-node index cIdx to shard
 // sIdx, using the given process on that client node.
@@ -70,57 +84,66 @@ func (t *Tier) DialShard(p *sim.Proc, proc *vmmc.Process, cIdx, sIdx, conn int, 
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{rc: rc, pol: pol, tokens: pol.Budget, rng: pol.Seed}, nil
+	return &Conn{rc: rc, Retrier: NewRetrier(pol)}, nil
 }
 
-// retriable reports whether the failure may be retried: overload
-// rejections (the server asked for backoff) and timeouts (the reply may
-// be lost; at-least-once GET semantics are safe). Server-side deadline
-// expiry is final — a retry would start even later.
-func retriable(err error) bool {
-	return errors.Is(err, rpc.ErrOverloaded) || errors.Is(err, rpc.ErrRPCTimeout)
+// Retriable reports whether the failure may be retried: overload
+// rejections (the server asked for backoff), timeouts (the reply may be
+// lost; at-least-once GET semantics are safe), and unreachable nodes
+// (another replica may still answer). Server-side deadline expiry is
+// final — a retry would start even later.
+func Retriable(err error) bool {
+	return errors.Is(err, rpc.ErrOverloaded) || errors.Is(err, rpc.ErrRPCTimeout) ||
+		errors.Is(err, vmmc.ErrNodeUnreachable)
 }
 
-// do runs one budgeted-retry RPC loop around the call closure.
-func (c *Conn) do(p *sim.Proc, deadline sim.Time, call func() error) error {
-	if c.pol.Ratio > 0 {
-		c.tokens += c.pol.Ratio
-		if c.tokens > c.pol.Budget {
-			c.tokens = c.pol.Budget
+// Do runs one budgeted-retry RPC loop around the call closure. The
+// closure receives the zero-based attempt number, so a caller that
+// selects a target per attempt (replica failover) can re-route retries.
+func (r *Retrier) Do(p *sim.Proc, deadline sim.Time, call func(attempt int) error) error {
+	if r.pol.Ratio > 0 {
+		r.tokens += r.pol.Ratio
+		if r.tokens > r.pol.Budget {
+			r.tokens = r.pol.Budget
 		}
 	}
-	backoff := c.pol.Base
+	backoff := r.pol.Base
 	if backoff <= 0 {
 		backoff = sim.Micros(50)
 	}
-	for {
+	for attempt := 0; ; attempt++ {
 		if deadline != 0 && p.Now() >= deadline {
 			return ErrDeadlinePassed
 		}
-		c.Stats.Sends++
-		c.lastSend = p.Now()
-		err := call()
-		if err == nil || !retriable(err) {
+		r.Stats.Sends++
+		r.lastSend = p.Now()
+		err := call(attempt)
+		if err == nil || !Retriable(err) {
 			return err
 		}
-		if c.tokens < 1 {
-			c.Stats.BudgetDenied++
+		if r.tokens < 1 {
+			r.Stats.BudgetDenied++
 			return err
 		}
-		c.tokens--
-		c.Stats.Retries++
+		r.tokens--
+		r.Stats.Retries++
 		// Deterministic decorrelated jitter: sleep uniformly in
 		// [backoff/2, backoff), then double toward the cap.
-		d := backoff/2 + sim.Time(unit(&c.rng)*float64(backoff/2))
-		c.Stats.Backoff += d
+		d := backoff/2 + sim.Time(unit(&r.rng)*float64(backoff/2))
+		r.Stats.Backoff += d
 		p.Sleep(d)
-		if backoff < c.pol.Max {
+		if backoff < r.pol.Max {
 			backoff *= 2
-			if backoff > c.pol.Max {
-				backoff = c.pol.Max
+			if backoff > r.pol.Max {
+				backoff = r.pol.Max
 			}
 		}
 	}
+}
+
+// do adapts the Retrier loop to the Conn's fixed-target closures.
+func (c *Conn) do(p *sim.Proc, deadline sim.Time, call func() error) error {
+	return c.Do(p, deadline, func(int) error { return call() })
 }
 
 // Get fetches a key with the connection's retry policy. deadline 0
